@@ -1,0 +1,85 @@
+"""Figure 1 — SpMV (mxv) runtime vs graph scale.
+
+Reconstructed experiment: one dense-input mxv over (PLUS, TIMES) on R-MAT
+graphs of increasing scale.  Shape claims:
+
+- reference grows linearly in nnz and is slowest throughout;
+- the simulated GPU shows the launch-latency floor (flat curve at small
+  scales) and then memory-bound linear growth — the signature GPU SpMV
+  curve;
+- the GPU-vs-reference gap widens with scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro as gb
+from repro.bench.harness import time_operation
+from repro.bench.tables import format_series
+from repro.core import operations as ops
+from repro.core.semiring import PLUS_TIMES
+
+from conftest import bench_backend, save_table
+
+SCALES = [6, 8, 10, 12]
+REFERENCE_MAX_SCALE = 10
+BACKENDS = ["reference", "cpu", "cuda_sim"]
+
+
+def make_case(scale):
+    g = gb.generators.rmat(scale=scale, edge_factor=8, seed=20, weighted=True)
+    u = gb.Vector.full(1.0, g.nrows, gb.FP64)
+
+    def run():
+        w = gb.Vector.sparse(gb.FP64, g.nrows)
+        return ops.mxv(w, g, u, PLUS_TIMES)
+
+    return run
+
+
+_CASES = {s: make_case(s) for s in SCALES}
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("scale", SCALES)
+def test_fig1_mxv(benchmark, backend, scale):
+    if backend == "reference" and scale > REFERENCE_MAX_SCALE:
+        pytest.skip("sequential baseline capped at scale 10")
+    bench_backend(benchmark, backend, _CASES[scale], rounds=2)
+
+
+def test_fig1_render(benchmark):
+    def build():
+        series = {b: [] for b in BACKENDS}
+        for s in SCALES:
+            for b in BACKENDS:
+                if b == "reference" and s > REFERENCE_MAX_SCALE:
+                    series[b].append(float("nan"))
+                    continue
+                series[b].append(
+                    time_operation(b, _CASES[s], repeat=1 if b == "reference" else 3).seconds
+                )
+        fig = format_series(
+            "Figure 1 — mxv runtime vs R-MAT scale (seconds)",
+            "scale",
+            SCALES,
+            series,
+        )
+        save_table("fig1_mxv_scaling", fig)
+        # Shape: gpu-sim beats reference increasingly with scale.
+        gaps = [
+            series["reference"][i] / series["cuda_sim"][i]
+            for i, s in enumerate(SCALES)
+            if s <= REFERENCE_MAX_SCALE
+        ]
+        assert gaps[-1] > gaps[0], f"GPU gap must widen with scale, got {gaps}"
+        # Shape: launch-latency floor — small scales nearly flat on gpu-sim.
+        assert series["cuda_sim"][1] < 3 * series["cuda_sim"][0], (
+            "small-scale GPU times should sit near the launch floor"
+        )
+        # Shape: gpu-sim time grows with size at large scale (memory bound).
+        assert series["cuda_sim"][-1] > series["cuda_sim"][0]
+        return fig
+
+    benchmark.pedantic(build, rounds=1, iterations=1)

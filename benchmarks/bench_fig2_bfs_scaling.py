@@ -1,0 +1,73 @@
+"""Figure 2 — BFS runtime vs graph scale, per backend.
+
+Reconstructed experiment: full level-BFS from vertex 0 on R-MAT graphs of
+increasing scale.  Shape claims: the sequential reference is slowest and
+grows fastest; cpu and gpu-sim stay orders of magnitude below it; the
+gpu-sim curve is dominated by per-iteration kernel launches at small scales
+(the "small graphs don't pay off on GPUs" observation every GPU graph paper
+makes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro as gb
+from repro.bench.harness import time_operation
+from repro.bench.tables import format_series
+from conftest import bench_backend, save_table
+
+SCALES = [6, 8, 10, 12]
+REFERENCE_MAX_SCALE = 10
+BACKENDS = ["reference", "cpu", "cuda_sim"]
+
+
+def make_case(scale):
+    g = gb.generators.rmat(scale=scale, edge_factor=8, seed=21)
+    return lambda: gb.algorithms.bfs_levels(g, 0)
+
+
+_CASES = {s: make_case(s) for s in SCALES}
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("scale", SCALES)
+def test_fig2_bfs(benchmark, backend, scale):
+    if backend == "reference" and scale > REFERENCE_MAX_SCALE:
+        pytest.skip("sequential baseline capped at scale 10")
+    bench_backend(benchmark, backend, _CASES[scale], rounds=2)
+
+
+def test_fig2_render(benchmark):
+    def build():
+        series = {b: [] for b in BACKENDS}
+        for s in SCALES:
+            for b in BACKENDS:
+                if b == "reference" and s > REFERENCE_MAX_SCALE:
+                    series[b].append(float("nan"))
+                    continue
+                series[b].append(
+                    time_operation(b, _CASES[s], repeat=1 if b == "reference" else 2).seconds
+                )
+        fig = format_series(
+            "Figure 2 — BFS runtime vs R-MAT scale (seconds)",
+            "scale",
+            SCALES,
+            series,
+        )
+        save_table("fig2_bfs_scaling", fig)
+        # Shape: reference slowest at every measured scale.
+        for i, s in enumerate(SCALES):
+            if s <= REFERENCE_MAX_SCALE and s >= 8:
+                assert series["reference"][i] > series["cpu"][i]
+                assert series["reference"][i] > series["cuda_sim"][i]
+        # Shape: the reference/gpu gap widens with scale.
+        gaps = [
+            series["reference"][i] / series["cuda_sim"][i]
+            for i, s in enumerate(SCALES)
+            if s <= REFERENCE_MAX_SCALE
+        ]
+        assert gaps[-1] > gaps[0]
+        return fig
+
+    benchmark.pedantic(build, rounds=1, iterations=1)

@@ -1,0 +1,95 @@
+"""Figure 3 — SpGEMM (mxm) runtime vs problem size and density.
+
+Reconstructed experiment: C = A·A over (PLUS, TIMES) on Erdős–Rényi graphs,
+(a) sweeping n at fixed average degree and (b) sweeping density at fixed n.
+Shape claims: runtime grows with FLOPs (≈ nnz·avg_deg) — superlinear in
+density at fixed n; the backend ordering holds throughout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro as gb
+from repro.bench.harness import time_operation
+from repro.bench.tables import format_series
+from repro.core import operations as ops
+from repro.core.semiring import PLUS_TIMES
+
+from conftest import bench_backend, save_table
+
+SIZES = [256, 512, 1024, 2048]
+DEGREES = [2, 4, 8, 16]  # density sweep at n = 1024
+REFERENCE_MAX_N = 512
+BACKENDS = ["reference", "cpu", "cuda_sim"]
+
+
+def make_case(n, avg_deg):
+    g = gb.generators.erdos_renyi_gnp(n, avg_deg / n, seed=22, weighted=True)
+
+    def run():
+        c = gb.Matrix.sparse(gb.FP64, n, n)
+        return ops.mxm(c, g, g, PLUS_TIMES)
+
+    return run
+
+
+_SIZE_CASES = {n: make_case(n, 8) for n in SIZES}
+_DENSITY_CASES = {d: make_case(1024, d) for d in DEGREES}
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("n", SIZES)
+def test_fig3a_mxm_size(benchmark, backend, n):
+    if backend == "reference" and n > REFERENCE_MAX_N:
+        pytest.skip("sequential baseline capped at n=512")
+    bench_backend(benchmark, backend, _SIZE_CASES[n], rounds=2)
+
+
+@pytest.mark.parametrize("backend", ["cpu", "cuda_sim"])
+@pytest.mark.parametrize("deg", DEGREES)
+def test_fig3b_mxm_density(benchmark, backend, deg):
+    bench_backend(benchmark, backend, _DENSITY_CASES[deg], rounds=2)
+
+
+def test_fig3_render(benchmark):
+    def build():
+        series = {b: [] for b in BACKENDS}
+        for n in SIZES:
+            for b in BACKENDS:
+                if b == "reference" and n > REFERENCE_MAX_N:
+                    series[b].append(float("nan"))
+                    continue
+                series[b].append(
+                    time_operation(b, _SIZE_CASES[n], repeat=1 if b == "reference" else 2).seconds
+                )
+        fig_a = format_series(
+            "Figure 3a — mxm runtime vs n (ER, avg degree 8; seconds)",
+            "n",
+            SIZES,
+            series,
+        )
+        dens = {b: [] for b in ("cpu", "cuda_sim")}
+        for d in DEGREES:
+            for b in dens:
+                dens[b].append(time_operation(b, _DENSITY_CASES[d], repeat=2).seconds)
+        fig_b = format_series(
+            "Figure 3b — mxm runtime vs avg degree (n=1024; seconds)",
+            "avg_deg",
+            DEGREES,
+            dens,
+        )
+        save_table("fig3_mxm_scaling", fig_a + "\n\n" + fig_b)
+        # Shape: growth in both sweeps for the simulated GPU.
+        assert series["cuda_sim"][-1] > series["cuda_sim"][0]
+        assert dens["cuda_sim"][-1] > dens["cuda_sim"][0]
+        # Shape: superlinear in degree (FLOPs ~ deg² at fixed n): 8x degree
+        # should cost much more than 8x time on the modeled device.
+        assert dens["cuda_sim"][-1] / dens["cuda_sim"][0] > 8.0
+        # Backend ordering at the largest measured reference point.
+        i = SIZES.index(REFERENCE_MAX_N)
+        assert series["reference"][i] > series["cpu"][i]
+        assert series["reference"][i] > series["cuda_sim"][i]
+        return fig_a
+
+    benchmark.pedantic(build, rounds=1, iterations=1)

@@ -1,0 +1,100 @@
+"""Figure 4 — speedup of the fast backends over the sequential reference.
+
+Reconstructed experiment: the bar chart every backend paper ends with — per
+primitive, speedup of cpu and cuda_sim over the reference backend at a fixed
+scale.  Shape claims: every bar > 1 for the heavy primitives; cuda_sim bars
+exceed cpu bars for the product kernels (massively parallel wins), reported
+as modeled-device-time vs measured wall time per DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro as gb
+from repro.bench.harness import time_operation
+from repro.bench.tables import format_table
+from repro.bench.workloads import get_workload, random_frontier
+from repro.core import operations as ops
+from repro.core.monoid import PLUS_MONOID
+from repro.core.operators import ABS
+from repro.core.semiring import LOR_LAND, MIN_PLUS, PLUS_TIMES
+
+from conftest import bench_backend, save_table
+
+WORKLOAD = "rmat_s10"
+
+
+def cases():
+    g = get_workload(WORKLOAD)
+    n = g.nrows
+    frontier = random_frontier(n, 32, seed=2)
+    dense = gb.Vector.full(1.0, n, gb.FP64)
+    small = gb.generators.rmat(scale=7, edge_factor=4, seed=23)
+
+    def mxv_dense():
+        w = gb.Vector.sparse(gb.FP64, n)
+        return ops.mxv(w, g, dense, PLUS_TIMES)
+
+    def mxv_sparse_frontier():
+        w = gb.Vector.sparse(gb.FP64, n)
+        return ops.vxm(w, frontier, g, LOR_LAND)
+
+    def mxv_tropical():
+        w = gb.Vector.sparse(gb.FP64, n)
+        return ops.mxv(w, g, dense, MIN_PLUS)
+
+    def mxm():
+        c = gb.Matrix.sparse(gb.FP64, small.nrows, small.ncols)
+        return ops.mxm(c, small, small, PLUS_TIMES)
+
+    def apply_():
+        c = gb.Matrix.sparse(gb.FP64, n, n)
+        return ops.apply(c, g, ABS)
+
+    def reduce_rows():
+        w = gb.Vector.sparse(gb.FP64, n)
+        return ops.reduce_to_vector(w, g, PLUS_MONOID)
+
+    return [
+        ("mxv(dense)", mxv_dense),
+        ("vxm(frontier)", mxv_sparse_frontier),
+        ("mxv(minplus)", mxv_tropical),
+        ("mxm", mxm),
+        ("apply", apply_),
+        ("reduceRows", reduce_rows),
+    ]
+
+
+_CASES = cases()
+
+
+@pytest.mark.parametrize("backend", ["reference", "cpu", "cuda_sim"])
+@pytest.mark.parametrize("case", [name for name, _ in _CASES])
+def test_fig4_case(benchmark, backend, case):
+    fn = dict(_CASES)[case]
+    bench_backend(benchmark, backend, fn, rounds=1 if backend == "reference" else 3)
+
+
+def test_fig4_render(benchmark):
+    def build():
+        rows = []
+        gpu_speedups = {}
+        for name, fn in _CASES:
+            ref = time_operation("reference", fn, repeat=1).seconds
+            cpu = time_operation("cpu", fn, repeat=3).seconds
+            gpu = time_operation("cuda_sim", fn).seconds
+            rows.append([name, round(ref / cpu, 1), round(ref / gpu, 1)])
+            gpu_speedups[name] = ref / gpu
+        fig = format_table(
+            f"Figure 4 — speedup over reference backend on {WORKLOAD} (×)",
+            ["primitive", "cpu", "cuda_sim"],
+            rows,
+        )
+        save_table("fig4_speedup", fig)
+        # Shape: every gpu bar for heavy kernels clears 10x at this scale.
+        for name in ("mxv(dense)", "mxv(minplus)", "mxm", "apply"):
+            assert gpu_speedups[name] > 10.0, f"{name}: {gpu_speedups[name]:.1f}x"
+        return fig
+
+    benchmark.pedantic(build, rounds=1, iterations=1)

@@ -1,0 +1,151 @@
+"""Table 1 — GraphBLAS primitive runtimes per backend.
+
+Reconstructed experiment (see DESIGN.md): every primitive runs on every
+backend on the same R-MAT graph; the reference (sequential) backend is the
+baseline, the vectorized CPU backend and the simulated GPU backend must both
+beat it by a wide margin at this scale.  Columns: primitive, then one time
+column per backend (seconds; cuda_sim column is modeled device time).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro as gb
+from repro.bench.harness import time_operation
+from repro.bench.tables import check_ordering, format_table
+from repro.bench.workloads import get_workload, random_frontier
+from repro.core import operations as ops
+from repro.core.assign import assign_scalar
+from repro.core.monoid import PLUS_MONOID
+from repro.core.operators import ABS, PLUS
+from repro.core.semiring import PLUS_TIMES
+
+from conftest import bench_backend, save_table
+
+WORKLOAD = "rmat_s10"
+BACKENDS = ["reference", "cpu", "cuda_sim"]
+
+
+def _graph():
+    return get_workload(WORKLOAD)
+
+
+def primitive_ops():
+    """(name, thunk factory) for each primitive exercised by Table 1."""
+    g = _graph()
+    n = g.nrows
+    u = random_frontier(n, n // 4, seed=3)
+    dense_u = gb.Vector.full(1.0, n, gb.FP64)
+    small = gb.generators.rmat(scale=7, edge_factor=4, seed=9)
+    # Separate copy for transpose: the shared graph's cached column view
+    # would short-circuit the backend kernel and report zero device time.
+    g_t = g.dup()
+
+    def mxv():
+        w = gb.Vector.sparse(gb.FP64, n)
+        return ops.mxv(w, g, u, PLUS_TIMES)
+
+    def vxm():
+        w = gb.Vector.sparse(gb.FP64, n)
+        return ops.vxm(w, u, g, PLUS_TIMES)
+
+    def mxm():
+        c = gb.Matrix.sparse(gb.FP64, small.nrows, small.ncols)
+        return ops.mxm(c, small, small, PLUS_TIMES)
+
+    def ewise_add():
+        w = gb.Vector.sparse(gb.FP64, n)
+        return ops.ewise_add(w, u, dense_u, PLUS)
+
+    def ewise_mult():
+        w = gb.Vector.sparse(gb.FP64, n)
+        return ops.ewise_mult(w, u, dense_u, PLUS)
+
+    def apply_():
+        c = gb.Matrix.sparse(gb.FP64, n, n)
+        return ops.apply(c, g, ABS)
+
+    def reduce_():
+        return ops.reduce(g, PLUS_MONOID)
+
+    def reduce_rows():
+        w = gb.Vector.sparse(gb.FP64, n)
+        return ops.reduce_to_vector(w, g, PLUS_MONOID)
+
+    def transpose():
+        c = gb.Matrix.sparse(gb.FP64, n, n)
+        return ops.transpose(c, g_t)
+
+    def extract():
+        w = gb.Vector.sparse(gb.FP64, n // 2)
+        return ops.extract(w, dense_u, np.arange(n // 2))
+
+    def assign():
+        w = gb.Vector.sparse(gb.FP64, n)
+        return assign_scalar(w, 1.0, indices=u.indices_array())
+
+    return [
+        ("mxv", mxv),
+        ("vxm", vxm),
+        ("mxm", mxm),
+        ("eWiseAdd", ewise_add),
+        ("eWiseMult", ewise_mult),
+        ("apply", apply_),
+        ("reduce", reduce_),
+        ("reduceRows", reduce_rows),
+        ("transpose", transpose),
+        ("extract", extract),
+        ("assign", assign),
+    ]
+
+
+_PRIMS = primitive_ops()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("prim", [name for name, _ in _PRIMS])
+def test_table1_primitive(benchmark, backend, prim):
+    fn = dict(_PRIMS)[prim]
+    rounds = 1 if backend == "reference" else 3
+    bench_backend(benchmark, backend, fn, rounds=rounds)
+
+
+def test_table1_render(benchmark):
+    """Render Table 1 and assert the paper-shape ordering."""
+
+    def build():
+        rows = []
+        orderings_ok = []
+        for name, fn in _PRIMS:
+            times = {}
+            for b in BACKENDS:
+                times[b] = time_operation(b, fn, repeat=1 if b == "reference" else 3).seconds
+            rows.append(
+                [
+                    name,
+                    times["reference"],
+                    times["cpu"],
+                    times["cuda_sim"],
+                    round(times["reference"] / max(times["cpu"], 1e-12), 1),
+                    round(times["reference"] / max(times["cuda_sim"], 1e-12), 1),
+                ]
+            )
+            # Shape claim: vectorized and GPU-sim beat sequential on the
+            # heavy primitives (product/transform ops; trivial O(1)-ish ops
+            # like reduce on tiny data are allowed to tie).
+            if name in ("mxv", "vxm", "mxm", "apply"):
+                orderings_ok.extend(
+                    check_ordering(times, ["cpu", "cuda_sim"], "reference", min_factor=2.0)
+                )
+        table = format_table(
+            f"Table 1 — primitive runtimes on {WORKLOAD} (seconds; cuda_sim = modeled device time)",
+            ["primitive", "reference", "cpu", "cuda_sim", "cpu spdup", "gpu spdup"],
+            rows,
+        )
+        save_table("table1_primitives", table)
+        assert not orderings_ok, "\n".join(orderings_ok)
+        return table
+
+    benchmark.pedantic(build, rounds=1, iterations=1)

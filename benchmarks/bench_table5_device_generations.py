@@ -1,0 +1,103 @@
+"""Table 5 (what-if) — the same kernels across GPU generations.
+
+The cost model is fully parameterised by :class:`DeviceProperties`, so the
+reproduction can answer the question the 2016 paper could not: how would
+the same GraphBLAS workload scale on later parts?  Runs SpMV, SpGEMM, and
+a full BFS on simulated K40, P100, and V100 presets (public spec-sheet
+numbers).
+
+Shape claims: the memory-bound SpMV speeds up roughly with the bandwidth
+ratio (K40→V100 ≈ 3.1×); BFS — dominated by per-level launch overhead on
+this graph size — improves far *less* than the bandwidth ratio, the
+classic "small graphs don't scale with the hardware" effect.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro as gb
+from repro.backends.dispatch import get_backend, use_backend
+from repro.bench.tables import format_table
+from repro.core import operations as ops
+from repro.core.semiring import PLUS_TIMES
+from repro.gpu.device import Device, K40, P100, V100, get_device, reset_device, set_device
+
+from conftest import save_table
+
+DEVICES = {"K40": K40, "P100": P100, "V100": V100}
+
+
+def workloads():
+    g = gb.generators.rmat(scale=12, edge_factor=16, seed=55, weighted=True)
+    u = gb.Vector.full(1.0, g.nrows, gb.FP64)
+    small = gb.generators.rmat(scale=8, edge_factor=8, seed=55)
+
+    def spmv():
+        w = gb.Vector.sparse(gb.FP64, g.nrows)
+        return ops.mxv(w, g, u, PLUS_TIMES)
+
+    def spgemm():
+        c = gb.Matrix.sparse(gb.FP64, small.nrows, small.ncols)
+        return ops.mxm(c, small, small, PLUS_TIMES)
+
+    def bfs():
+        return gb.algorithms.bfs_levels(g, 0)
+
+    return [("SpMV (s12)", spmv), ("SpGEMM (s8)", spgemm), ("BFS (s12)", bfs)]
+
+
+_WORK = workloads()
+
+
+def sim_us(props, fn) -> float:
+    set_device(Device(props))
+    get_backend("cuda_sim").evict_all()
+    with use_backend("cuda_sim"):
+        fn()
+    us = get_device().profiler.kernel_time_us
+    reset_device()
+    get_backend("cuda_sim").evict_all()
+    return us
+
+
+@pytest.mark.parametrize("device", list(DEVICES))
+@pytest.mark.parametrize("work", [name for name, _ in _WORK])
+def test_table5_cell(benchmark, device, work):
+    fn = dict(_WORK)[work]
+    us = sim_us(DEVICES[device], fn)
+    benchmark.extra_info["simulated_us"] = round(us, 2)
+    benchmark.pedantic(lambda: sim_us(DEVICES[device], fn), rounds=1, iterations=1)
+
+
+def test_table5_render(benchmark):
+    def build():
+        rows = []
+        res = {}
+        for wname, fn in _WORK:
+            row = [wname]
+            for dname, props in DEVICES.items():
+                us = sim_us(props, fn)
+                res[(wname, dname)] = us
+                row.append(round(us, 2))
+            row.append(round(res[(wname, "K40")] / res[(wname, "V100")], 2))
+            rows.append(row)
+        table = format_table(
+            "Table 5 — modeled kernel time across GPU generations (µs)",
+            ["workload", "K40", "P100", "V100", "K40/V100"],
+            rows,
+        )
+        save_table("table5_device_generations", table)
+        bw_ratio = V100.mem_bandwidth_gbps / K40.mem_bandwidth_gbps  # ≈3.1
+        spmv_gain = res[("SpMV (s12)", "K40")] / res[("SpMV (s12)", "V100")]
+        bfs_gain = res[("BFS (s12)", "K40")] / res[("BFS (s12)", "V100")]
+        # Memory-bound SpMV tracks bandwidth within 40%.
+        assert 0.6 * bw_ratio < spmv_gain < 1.4 * bw_ratio, spmv_gain
+        # Launch-bound BFS gains much less than the bandwidth ratio.
+        assert bfs_gain < spmv_gain
+        # Newer is never slower.
+        for wname, _ in _WORK:
+            assert res[(wname, "V100")] <= res[(wname, "K40")]
+        return table
+
+    benchmark.pedantic(build, rounds=1, iterations=1)

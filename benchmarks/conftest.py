@@ -1,0 +1,77 @@
+"""Shared helpers for the benchmark suite.
+
+Conventions (see DESIGN.md, per-experiment index):
+
+- every benchmark test uses the ``benchmark`` fixture so the whole suite
+  runs under ``pytest benchmarks/ --benchmark-only``;
+- backends measure differently: ``reference``/``cpu`` report wall time,
+  ``cuda_sim`` reports the cost model's simulated device time, which is
+  attached to ``benchmark.extra_info["simulated_us"]`` (its wall time is
+  simulation overhead, not a claim about GPU speed);
+- each table/figure test renders the paper-style table with
+  :mod:`repro.bench.tables` and writes it to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.backends.dispatch import get_backend, use_backend
+from repro.bench.harness import simulated_gpu_time, time_operation
+from repro.gpu.device import reset_device
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def measure(backend: str, fn, repeat: int = 3):
+    """One Measurement for ``fn`` under ``backend`` (see bench.harness)."""
+    return time_operation(backend, fn, repeat=repeat)
+
+
+def bench_backend(benchmark, backend: str, fn, rounds: int = 3):
+    """Drive pytest-benchmark for one (backend, op) cell.
+
+    For real backends the benchmark statistic is the wall time.  For the
+    simulated GPU the statistic is the simulation's wall time; the modeled
+    device time is attached as extra_info.
+    """
+    if backend == "cuda_sim":
+        m = simulated_gpu_time(fn)
+        benchmark.extra_info["simulated_us"] = round(m.microseconds, 3)
+        benchmark.extra_info["kernel_launches"] = m.kernel_launches
+
+        def run():
+            reset_device()
+            get_backend("cuda_sim").evict_all()
+            with use_backend("cuda_sim"):
+                return fn()
+
+        benchmark.pedantic(run, rounds=max(1, rounds), iterations=1)
+        return m.seconds
+
+    def run():
+        with use_backend(backend):
+            return fn()
+
+    benchmark.pedantic(run, rounds=max(1, rounds), iterations=1)
+    return None
+
+
+def save_table(name: str, text: str) -> None:
+    """Print a rendered table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / f"{name}.txt"
+    out.write_text(text + "\n")
+    print()
+    print(text)
+
+
+@pytest.fixture(autouse=True)
+def _quiet_device():
+    """Each benchmark starts from a clean simulated device."""
+    reset_device()
+    get_backend("cuda_sim").evict_all()
+    yield

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""One-shot driver: regenerate every table and figure of the evaluation.
+
+Runs the benchmark suite (the per-experiment files under ``benchmarks/``),
+collects the rendered tables from ``benchmarks/results/`` and concatenates
+them into ``benchmarks/results/REPORT.txt`` — the full reconstructed
+evaluation in one file.
+
+Run:  python examples/reproduce_evaluation.py [--quick]
+
+``--quick`` runs only the render tests (one measurement pass per
+experiment) and skips the per-cell pytest-benchmark statistics.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+RESULTS = REPO / "benchmarks" / "results"
+
+EXPERIMENTS = [
+    "bench_table1_primitives.py",
+    "bench_table2_algorithms.py",
+    "bench_table3_costmodel_ablation.py",
+    "bench_table4_bfs_mteps.py",
+    "bench_table5_device_generations.py",
+    "bench_fig1_mxv_scaling.py",
+    "bench_fig2_bfs_scaling.py",
+    "bench_fig3_mxm_scaling.py",
+    "bench_fig4_speedup.py",
+    "bench_fig5_push_pull.py",
+    "bench_fig6_masked_spgemm.py",
+    "bench_fig7_delta_sweep.py",
+]
+
+
+def main() -> int:
+    quick = "--quick" in sys.argv
+    targets = []
+    for exp in EXPERIMENTS:
+        # e.g. bench_table1_primitives.py -> test_table1_render
+        short = exp.removeprefix("bench_").split("_")[0]
+        targets.append(
+            f"benchmarks/{exp}::test_{short}_render" if quick else f"benchmarks/{exp}"
+        )
+    cmd = [
+        sys.executable,
+        "-m",
+        "pytest",
+        *targets,
+        "--benchmark-only",
+        "-q",
+    ]
+    print("running:", " ".join(cmd))
+    rc = subprocess.call(cmd, cwd=REPO)
+    if rc != 0:
+        print("\nbenchmark suite reported failures — see output above")
+
+    # Stitch the report together regardless (partial results still useful).
+    parts = []
+    for name in sorted(RESULTS.glob("*.txt")) if RESULTS.exists() else []:
+        if name.name == "REPORT.txt":
+            continue
+        parts.append(name.read_text().rstrip())
+    if parts:
+        report = RESULTS / "REPORT.txt"
+        report.write_text("\n\n\n".join(parts) + "\n")
+        print(f"\nfull evaluation written to {report}")
+        print(f"  ({len(parts)} tables/figures)")
+    return rc
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,114 @@
+"""repro — a GraphBLAS library with swappable CPU and simulated-GPU backends.
+
+A from-scratch Python reproduction of *GBTL-CUDA: Graph Algorithms and
+Primitives for GPUs* (GABB'16): the GraphBLAS primitive set (matrices and
+vectors over arbitrary semirings; mxm/mxv/vxm, elementwise, apply, select,
+reduce, extract, assign, transpose, kronecker), a strict frontend/backend
+split with three interchangeable backends (``reference`` pure-Python oracle,
+``cpu`` vectorized NumPy, ``cuda_sim`` simulated GPU), and graph algorithms
+(BFS, SSSP, PageRank, triangle counting, connected components, MIS, MST,
+k-truss, betweenness centrality) written once against the frontend.
+
+Quickstart::
+
+    import repro as gb
+
+    g = gb.generators.rmat(scale=10, edge_factor=8, seed=1)
+    levels = gb.algorithms.bfs_levels(g, source=0)
+
+    with gb.use_backend("cuda_sim"):
+        levels_gpu = gb.algorithms.bfs_levels(g, source=0)
+    assert levels == levels_gpu
+"""
+
+from . import algorithms, containers, generators, gpu, io
+from .backends import (
+    available_backends,
+    current_backend,
+    get_backend,
+    register_backend,
+    set_default_backend,
+    use_backend,
+)
+from .core import *  # noqa: F401,F403 — the GraphBLAS API surface
+from .core import __all__ as _core_all
+from .exceptions import (
+    ApiError,
+    DeviceError,
+    DeviceOutOfMemoryError,
+    DimensionMismatchError,
+    DomainMismatchError,
+    EmptyObjectError,
+    ExecutionError,
+    GraphBLASError,
+    IndexOutOfBoundsError,
+    InvalidLaunchError,
+    InvalidObjectError,
+    InvalidValueError,
+    NotImplementedInBackendError,
+    OutputNotEmptyError,
+)
+from .types import (
+    ALL_TYPES,
+    BOOL,
+    FP32,
+    FP64,
+    GrBType,
+    INT8,
+    INT16,
+    INT32,
+    INT64,
+    UINT8,
+    UINT16,
+    UINT32,
+    UINT64,
+    promote,
+)
+
+__version__ = "1.0.0"
+
+__all__ = (
+    [
+        "algorithms",
+        "containers",
+        "generators",
+        "gpu",
+        "io",
+        "available_backends",
+        "current_backend",
+        "get_backend",
+        "register_backend",
+        "set_default_backend",
+        "use_backend",
+        "GraphBLASError",
+        "ApiError",
+        "ExecutionError",
+        "DimensionMismatchError",
+        "IndexOutOfBoundsError",
+        "DomainMismatchError",
+        "EmptyObjectError",
+        "InvalidValueError",
+        "InvalidObjectError",
+        "OutputNotEmptyError",
+        "NotImplementedInBackendError",
+        "DeviceError",
+        "DeviceOutOfMemoryError",
+        "InvalidLaunchError",
+        "GrBType",
+        "BOOL",
+        "INT8",
+        "INT16",
+        "INT32",
+        "INT64",
+        "UINT8",
+        "UINT16",
+        "UINT32",
+        "UINT64",
+        "FP32",
+        "FP64",
+        "ALL_TYPES",
+        "promote",
+        "__version__",
+    ]
+    + list(_core_all)
+)

@@ -1,0 +1,86 @@
+"""All-pairs shortest paths over the (MIN, PLUS) semiring.
+
+Two formulations, both pure GraphBLAS:
+
+- :func:`apsp` — repeated squaring of the distance matrix: with
+  ``D₀ = A ⊕ 0·I``, iterate ``D ← D ⊗ D`` over (MIN, PLUS); after
+  ⌈log₂ n⌉ squarings D holds all-pairs distances.  O(log n) mxm calls —
+  the formulation that maps well to a GPU backend.
+- :func:`apsp_from_sources` — one frontier-filtered SSSP per requested
+  source; cheaper when only a few rows are needed.
+
+Distances to unreachable vertices are simply absent (no +inf entries).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core import operations as ops
+from ..core.matrix import Matrix
+from ..core.operators import MIN
+from ..core.semiring import MIN_PLUS
+from ..exceptions import InvalidValueError
+from ..types import FP64
+from .sssp import sssp
+
+__all__ = ["apsp", "apsp_from_sources"]
+
+
+def apsp(g: Matrix) -> Matrix:
+    """Distance matrix D with D[i,j] = shortest-path weight i→j.
+
+    The diagonal is explicit zero (every vertex reaches itself).  Requires
+    nonnegative weights (min-plus squaring does not detect negative
+    cycles).
+    """
+    if g.nrows != g.ncols:
+        raise InvalidValueError(f"adjacency must be square, got {g.shape}")
+    n = g.nrows
+    if n == 0:
+        return Matrix.sparse(FP64, 0, 0)
+    gf = g if g.type is FP64 else Matrix(g.container.astype(FP64))
+    # D0 = min(A, 0·I): direct edges plus the zero diagonal.
+    d = Matrix.sparse(FP64, n, n)
+    eye = Matrix.identity(n, value=0.0, typ=FP64)
+    ops.ewise_add(d, gf, eye, MIN)
+    # Repeated squaring: paths double in hop count every iteration.
+    hops = 1
+    while hops < n:
+        nxt = Matrix.sparse(FP64, n, n)
+        ops.mxm(nxt, d, d, MIN_PLUS)
+        if nxt == d:
+            break
+        d = nxt
+        hops *= 2
+    return d
+
+
+def apsp_from_sources(g: Matrix, sources: Optional[Sequence[int]] = None) -> Matrix:
+    """Distance rows for the given sources (all vertices when None).
+
+    Returns a ``len(sources) × n`` matrix whose row k is the SSSP distance
+    vector of ``sources[k]``.
+    """
+    if g.nrows != g.ncols:
+        raise InvalidValueError(f"adjacency must be square, got {g.shape}")
+    n = g.nrows
+    srcs = list(range(n)) if sources is None else list(sources)
+    rows, cols, vals = [], [], []
+    for k, s in enumerate(srcs):
+        d = sssp(g, int(s))
+        rows.append(np.full(d.nvals, k, dtype=np.int64))
+        cols.append(d.indices_array().copy())
+        vals.append(d.values_array().copy())
+    if not rows:
+        return Matrix.sparse(FP64, 0, n)
+    return Matrix.from_lists(
+        np.concatenate(rows),
+        np.concatenate(cols),
+        np.concatenate(vals),
+        len(srcs),
+        n,
+        FP64,
+    )

@@ -1,0 +1,112 @@
+"""Breadth-first search, the GraphBLAS way.
+
+Level BFS is repeated masked ``vxm`` over the Boolean semiring: the frontier
+is a sparse vector, the "visited" vector is the complemented structural mask,
+and ``replace`` clears the old frontier — the exact formulation GBTL-CUDA
+runs on the GPU.  Parent BFS swaps in the (MIN, FIRST) semiring so the value
+that propagates is the parent's vertex id.
+
+``direction`` forwards to the backend's SpMSpV strategy ("push", "pull",
+"auto") — the Fig. 5 ablation knob.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core import operations as ops
+from ..core.assign import assign, assign_scalar
+from ..core.descriptor import Descriptor
+from ..core.matrix import Matrix
+from ..core.operators import ROWINDEX
+from ..core.semiring import LOR_LAND, MIN_FIRST
+from ..core.vector import Vector
+from ..exceptions import IndexOutOfBoundsError
+from ..types import BOOL, INT64
+
+__all__ = ["bfs_levels", "bfs_parents"]
+
+_UNVISITED_MASK = Descriptor(complement_mask=True, structural_mask=True, replace=True)
+
+
+def _check_source(g: Matrix, source: int) -> None:
+    if not 0 <= source < g.nrows:
+        raise IndexOutOfBoundsError(f"source {source} outside [0, {g.nrows})")
+
+
+def bfs_levels(
+    g: Matrix,
+    source: int,
+    direction: str = "auto",
+    max_depth: Optional[int] = None,
+) -> Vector:
+    """Hop distance from ``source`` (source itself gets level 0).
+
+    Unreachable vertices have no entry.  ``g`` is the adjacency matrix
+    (``g[i, j]`` present ⇒ edge i→j); values are ignored (structure only).
+    """
+    _check_source(g, source)
+    n = g.nrows
+    levels = Vector.sparse(INT64, n)
+    frontier = Vector.sparse(BOOL, n)
+    frontier.set_element(source, True)
+    depth = 0
+    limit = max_depth if max_depth is not None else n
+    while frontier.nvals and depth <= limit:
+        assign_scalar(levels, depth, indices=frontier.indices_array())
+        ops.vxm(
+            frontier,
+            frontier,
+            g,
+            LOR_LAND,
+            mask=levels,
+            desc=_UNVISITED_MASK,
+            direction=direction,
+        )
+        depth += 1
+    return levels
+
+
+def bfs_parents(
+    g: Matrix,
+    source: int,
+    direction: str = "auto",
+) -> Vector:
+    """BFS tree: ``parents[v]`` is v's predecessor (source points to itself).
+
+    Ties (several same-level predecessors) resolve to the smallest vertex id
+    via the MIN monoid, so results are deterministic across backends.
+    """
+    _check_source(g, source)
+    n = g.nrows
+    parents = Vector.sparse(INT64, n)
+    parents.set_element(source, source)
+    # Frontier values carry the *would-be parent* id = the vertex itself.
+    frontier = Vector.sparse(INT64, n)
+    frontier.set_element(source, source)
+    while frontier.nvals:
+        # Propagate parent ids along out-edges; keep only unvisited targets.
+        ops.vxm(
+            frontier,
+            frontier,
+            g,
+            MIN_FIRST,
+            mask=parents,
+            desc=_UNVISITED_MASK,
+            direction=direction,
+        )
+        if not frontier.nvals:
+            break
+        # Record the discovered parents, then relabel the new frontier with
+        # its own indices for the next hop.
+        packed = Vector.from_lists(
+            np.arange(frontier.nvals, dtype=np.int64),
+            frontier.values_array(),
+            frontier.nvals,
+            INT64,
+        )
+        assign(parents, packed, indices=frontier.indices_array())
+        ops.apply(frontier, frontier, ROWINDEX, thunk=0)
+    return parents

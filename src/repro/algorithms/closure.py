@@ -1,0 +1,70 @@
+"""Transitive closure and reachability over the Boolean semiring.
+
+``R = (A ⊕ I)^⌈log₂ n⌉`` over (LOR, LAND): repeated squaring doubles the
+reachable hop count per ``mxm`` — the Boolean sibling of min-plus APSP.
+``reachable_from`` answers single-source reachability with BFS-style
+masked products instead (cheaper than the full closure when only one row
+is needed).
+"""
+
+from __future__ import annotations
+
+from ..core import operations as ops
+from ..core.descriptor import Descriptor
+from ..core.matrix import Matrix
+from ..core.operators import LOR
+from ..core.semiring import LOR_LAND
+from ..core.vector import Vector
+from ..exceptions import IndexOutOfBoundsError, InvalidValueError
+from ..types import BOOL
+
+__all__ = ["transitive_closure", "reachable_from"]
+
+
+def transitive_closure(g: Matrix, reflexive: bool = True) -> Matrix:
+    """Boolean reachability matrix: R[i,j] present ⇔ j reachable from i.
+
+    ``reflexive=True`` includes the identity (every vertex reaches itself),
+    matching the reflexive-transitive closure; ``False`` gives the strict
+    transitive closure (paths of length ≥ 1).
+    """
+    if g.nrows != g.ncols:
+        raise InvalidValueError(f"adjacency must be square, got {g.shape}")
+    n = g.nrows
+    if n == 0:
+        return Matrix.sparse(BOOL, 0, 0)
+    from ..core.operators import ONE
+
+    r = Matrix.sparse(BOOL, n, n)
+    ops.apply(r, g, ONE)
+    if reflexive:
+        eye = Matrix.identity(n, value=True, typ=BOOL)
+        ops.ewise_add(r, r, eye, LOR)
+    hops = 1
+    while hops < n:
+        nxt = Matrix.sparse(BOOL, n, n)
+        ops.mxm(nxt, r, r, LOR_LAND)
+        if not reflexive:
+            # Without the diagonal, squaring alone misses odd-length paths:
+            # keep the running union R ∪ R² instead.
+            ops.ewise_add(nxt, nxt, r, LOR)
+        if nxt == r:
+            break
+        r = nxt
+        hops *= 2
+    return r
+
+
+def reachable_from(g: Matrix, source: int) -> Vector:
+    """BOOL vector of vertices reachable from ``source`` (itself included)."""
+    if not 0 <= source < g.nrows:
+        raise IndexOutOfBoundsError(f"source {source} outside [0, {g.nrows})")
+    n = g.nrows
+    seen = Vector.sparse(BOOL, n)
+    seen.set_element(source, True)
+    frontier = seen.dup()
+    unvisited = Descriptor(complement_mask=True, structural_mask=True, replace=True)
+    while frontier.nvals:
+        ops.vxm(frontier, frontier, g, LOR_LAND, mask=seen, desc=unvisited)
+        ops.ewise_add(seen, seen, frontier, LOR)
+    return seen

@@ -1,0 +1,88 @@
+"""Minimum spanning tree — Prim's algorithm in GraphBLAS form.
+
+Maintains the sparse vector ``d`` of cheapest crossing-edge weights from the
+tree to each outside vertex; each step extracts the global minimum (a
+``reduce`` plus a ``select``), adds that vertex, and relaxes ``d`` with one
+row of the adjacency matrix (an ``ewise_add`` under MIN).  n-1 steps of
+O(mxv)-ish work — the formulation GBTL ships as ``mst.hpp``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core import operations as ops
+from ..core.assign import assign_scalar
+from ..core.descriptor import Descriptor
+from ..core.matrix import Matrix
+from ..core.monoid import MIN_MONOID
+from ..core.operators import EQ, IDENTITY, MIN, VALUEEQ
+from ..core.vector import Vector
+from ..exceptions import InvalidValueError
+from ..types import BOOL, FP64, INT64
+
+__all__ = ["mst_prim"]
+
+
+def mst_prim(g: Matrix, root: int = 0) -> Tuple[float, Vector]:
+    """(total weight, parents) of the MST of ``root``'s component.
+
+    ``g`` must be a symmetric weighted adjacency matrix.  ``parents[v]`` is
+    v's MST parent (root points to itself); vertices outside the component
+    have no entry.
+    """
+    if g.nrows != g.ncols:
+        raise InvalidValueError(f"adjacency must be square, got {g.shape}")
+    n = g.nrows
+    parents = Vector.sparse(INT64, n)
+    parents.set_element(root, root)
+    total = 0.0
+    # d[v]: cheapest edge weight from the tree to v; seeded with root's row.
+    d = Vector.sparse(FP64, n)
+    ops.extract_row(d, g, root)
+    # Edge provenance: src[v] = tree endpoint of the cheapest edge to v.
+    src = Vector.sparse(INT64, n)
+    for i in d.indices_array():
+        src.set_element(int(i), root)
+    d.remove_element(root)
+    src.remove_element(root)
+    in_tree = Vector.sparse(BOOL, n)
+    in_tree.set_element(root, True)
+    while d.nvals:
+        # Cheapest crossing edge.
+        w = float(ops.reduce(d, MIN_MONOID))
+        pick = Vector.sparse(BOOL, n)
+        ops.select(pick, d, VALUEEQ, thunk=w)
+        v = int(pick.indices_array()[0])
+        total += w
+        parents.set_element(v, int(src[v]))
+        in_tree.set_element(v, True)
+        d.remove_element(v)
+        src.remove_element(v)
+        # Relax with v's row, restricted to non-tree vertices.
+        row = Vector.sparse(FP64, n)
+        ops.extract_row(row, g, v)
+        candidate = Vector.sparse(FP64, n)
+        ops.apply(
+            candidate,
+            row,
+            IDENTITY,
+            mask=in_tree,
+            desc=Descriptor(complement_mask=True, structural_mask=True, replace=True),
+        )
+        old = d.dup()
+        ops.ewise_add(d, old, candidate, MIN)
+        # Entries that changed (new or improved) now cross via v.
+        unchanged = Vector.sparse(BOOL, n)
+        ops.ewise_mult(unchanged, d, old, EQ)
+        improved = Vector.sparse(BOOL, n)
+        ops.apply(
+            improved,
+            d,
+            IDENTITY,
+            mask=unchanged,
+            desc=Descriptor(complement_mask=True, replace=True),
+        )
+        if improved.nvals:
+            assign_scalar(src, v, indices=improved.indices_array())
+    return total, parents

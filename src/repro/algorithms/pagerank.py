@@ -1,0 +1,89 @@
+"""PageRank via repeated vxm over the arithmetic semiring.
+
+The row-stochastic transition matrix is built with GraphBLAS primitives
+(row-sum reduce → reciprocal apply → diagonal mxm), and the power iteration
+handles dangling vertices (zero out-degree) by redistributing their mass
+uniformly — the standard formulation.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..core import operations as ops
+from ..core.matrix import Matrix
+from ..core.operators import ABS, MINUS, MINV, PLUS, TIMES
+from ..core.monoid import PLUS_MONOID
+from ..core.semiring import PLUS_TIMES
+from ..core.vector import Vector
+from ..exceptions import InvalidValueError
+from ..types import FP64
+
+__all__ = ["pagerank", "row_stochastic"]
+
+
+def row_stochastic(g: Matrix) -> Tuple[Matrix, Vector]:
+    """(M, dangling): M = D⁻¹·g with rows normalised; dangling row-sum=0.
+
+    ``dangling`` is a BOOL-ish vector marking zero-out-degree vertices
+    (value 1.0 at each dangling vertex).
+    """
+    n = g.nrows
+    if n != g.ncols:
+        raise InvalidValueError(f"adjacency must be square, got {g.shape}")
+    gf = g if g.type is FP64 else Matrix(g.container.astype(FP64))
+    outdeg = Vector.sparse(FP64, n)
+    ops.reduce_to_vector(outdeg, gf, PLUS_MONOID)
+    inv = Vector.sparse(FP64, n)
+    ops.apply(inv, outdeg, MINV)
+    dinv = Matrix.from_lists(
+        inv.indices_array(), inv.indices_array(), inv.values_array(), n, n, FP64
+    )
+    m = Matrix.sparse(FP64, n, n)
+    ops.mxm(m, dinv, gf, PLUS_TIMES)
+    dangling = Vector.full(1.0, n, FP64)
+    for i in outdeg.indices_array():
+        dangling.remove_element(int(i))
+    return m, dangling
+
+
+def pagerank(
+    g: Matrix,
+    damping: float = 0.85,
+    tol: float = 1e-8,
+    max_iter: int = 100,
+) -> Vector:
+    """PageRank vector (dense; sums to 1). Converges in L1 norm to ``tol``."""
+    if not 0.0 <= damping < 1.0:
+        raise InvalidValueError(f"damping must be in [0, 1), got {damping}")
+    n = g.nrows
+    if n == 0:
+        return Vector.sparse(FP64, 0)
+    m, dangling = row_stochastic(g)
+    r = Vector.full(1.0 / n, n, FP64)
+    teleport = (1.0 - damping) / n
+    for _ in range(max_iter):
+        # Mass parked on dangling vertices, redistributed uniformly.
+        dmass = 0.0
+        if dangling.nvals:
+            captured = Vector.sparse(FP64, n)
+            ops.ewise_mult(captured, r, dangling, TIMES)
+            dmass = float(ops.reduce(captured, PLUS_MONOID))
+        r_new = Vector.sparse(FP64, n)
+        ops.vxm(r_new, r, m, PLUS_TIMES)
+        ops.apply(r_new, r_new, TIMES, bind_first=damping)
+        base = teleport + damping * dmass / n
+        shifted = Vector.full(base, n, FP64)
+        ops.ewise_add(shifted, shifted, r_new, PLUS)
+        r_new = shifted
+        # L1 convergence check.
+        diff = Vector.sparse(FP64, n)
+        ops.ewise_add(diff, r_new, r, MINUS)
+        ops.apply(diff, diff, ABS)
+        delta = float(ops.reduce(diff, PLUS_MONOID))
+        r = r_new
+        if delta < tol:
+            break
+    return r

@@ -1,0 +1,21 @@
+"""Backend layer: abstract interface, registry, and the three built-ins."""
+
+from .base import Backend
+from .dispatch import (
+    available_backends,
+    current_backend,
+    get_backend,
+    register_backend,
+    set_default_backend,
+    use_backend,
+)
+
+__all__ = [
+    "Backend",
+    "available_backends",
+    "current_backend",
+    "get_backend",
+    "register_backend",
+    "set_default_backend",
+    "use_backend",
+]

@@ -1,0 +1,285 @@
+"""Backend interface.
+
+A backend supplies the *compute* kernels for GraphBLAS operations over the
+shared containers.  It receives fully-validated, canonical containers and a
+semiring/operator and returns the raw result ``T``; the frontend applies the
+accumulate/mask/replace write pipeline (see :mod:`repro.core.accumulate`).
+This split is GBTL's frontend/backend separation: the paper's claim is that
+algorithms written against the frontend run unchanged on a sequential CPU
+backend or a CUDA backend, and here likewise on :mod:`reference`, :mod:`cpu`,
+and :mod:`cuda_sim` backends.
+
+Backends may *prune* work using the optional ``mask``/``desc`` hints passed
+to the product kernels (pre-filtering T by the effective mask commutes with
+the write pipeline), and may use ``direction`` ("push"/"pull"/"auto") to
+choose SpMSpV strategy — the Fig. 5 ablation knob.
+
+Cold-path kernels (extract, transpose, kronecker) have container-level
+default implementations so a backend only must provide the hot kernels.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Optional
+
+import numpy as np
+
+from ..containers.csr import CSRMatrix
+from ..containers.sparsevec import SparseVector
+from ..core.descriptor import DEFAULT, Descriptor
+from ..core.monoid import Monoid
+from ..core.operators import BinaryOp, IndexUnaryOp, UnaryOp
+from ..core.semiring import Semiring
+from ..types import GrBType, promote
+
+__all__ = ["Backend"]
+
+
+class Backend(ABC):
+    """Abstract compute backend. Subclasses set :attr:`name`."""
+
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------
+    # Matrix-vector and matrix-matrix products (hot path, abstract)
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def mxv(
+        self,
+        a: CSRMatrix,
+        u: SparseVector,
+        semiring: Semiring,
+        mask: Optional[SparseVector] = None,
+        desc: Descriptor = DEFAULT,
+        direction: str = "auto",
+        csc=None,
+    ) -> SparseVector:
+        """``t = A ⊗ u`` (row picture).
+
+        ``mask``/``desc`` are pruning hints; ``csc`` is an optional cached
+        column view of ``a`` enabling the push direction without a fresh
+        transpose.
+        """
+
+    @abstractmethod
+    def mxm(
+        self,
+        a: CSRMatrix,
+        b: CSRMatrix,
+        semiring: Semiring,
+        mask: Optional[CSRMatrix] = None,
+        desc: Descriptor = DEFAULT,
+    ) -> CSRMatrix:
+        """``T = A ⊗ B``."""
+
+    def vxm(
+        self,
+        u: SparseVector,
+        a: CSRMatrix,
+        semiring: Semiring,
+        mask: Optional[SparseVector] = None,
+        desc: Descriptor = DEFAULT,
+        direction: str = "auto",
+        csc=None,
+    ) -> SparseVector:
+        """``t = u ⊗ A == Aᵀ ⊗ u``. Default routes through :meth:`mxv`.
+
+        The multiply's operand order matters for non-commutative operators
+        (vxm computes ``mult(u_k, A_kj)``), so the routed call flips it.
+        """
+        mult = semiring.mult
+        flipped = Semiring(
+            f"_flip({semiring.name})",
+            semiring.add,
+            BinaryOp(
+                f"_flip({mult.name})",
+                lambda x, y: mult.func(y, x),
+                mult.bool_out,
+                mult.commutative,
+                False,
+            ),
+        )
+        return self.mxv(a.transpose(), u, flipped, mask, desc, direction)
+
+    # ------------------------------------------------------------------
+    # Elementwise (hot path, abstract)
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def ewise_add_vector(
+        self, u: SparseVector, v: SparseVector, op: BinaryOp
+    ) -> SparseVector:
+        """Union elementwise: op where both present, pass-through otherwise."""
+
+    @abstractmethod
+    def ewise_mult_vector(
+        self, u: SparseVector, v: SparseVector, op: BinaryOp
+    ) -> SparseVector:
+        """Intersection elementwise: op only where both present."""
+
+    @abstractmethod
+    def ewise_add_matrix(self, a: CSRMatrix, b: CSRMatrix, op: BinaryOp) -> CSRMatrix:
+        """Union elementwise over matrices."""
+
+    @abstractmethod
+    def ewise_mult_matrix(self, a: CSRMatrix, b: CSRMatrix, op: BinaryOp) -> CSRMatrix:
+        """Intersection elementwise over matrices."""
+
+    # ------------------------------------------------------------------
+    # Apply / select / reduce (hot path, abstract)
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def apply_vector(self, u: SparseVector, op: UnaryOp) -> SparseVector:
+        """Map ``op`` over stored values."""
+
+    @abstractmethod
+    def apply_matrix(self, a: CSRMatrix, op: UnaryOp) -> CSRMatrix:
+        """Map ``op`` over stored values."""
+
+    @abstractmethod
+    def reduce_vector_scalar(self, u: SparseVector, monoid: Monoid) -> Any:
+        """Fold all stored values (identity when empty)."""
+
+    @abstractmethod
+    def reduce_matrix_vector(self, a: CSRMatrix, monoid: Monoid) -> SparseVector:
+        """Row-wise fold; rows with no entries produce no entry."""
+
+    def reduce_matrix_scalar(self, a: CSRMatrix, monoid: Monoid) -> Any:
+        """Fold every stored value of a matrix. Defaults to monoid fold."""
+        return monoid.reduce_array(a.values, a.type)
+
+    # ------------------------------------------------------------------
+    # Apply with index (select) — container-level defaults
+    # ------------------------------------------------------------------
+
+    def select_vector(self, u: SparseVector, op: IndexUnaryOp, thunk: Any) -> SparseVector:
+        """Keep entries where ``op(x, i, 0, thunk)`` is truthy."""
+        if u.nvals == 0:
+            return SparseVector.empty(u.size, u.type)
+        keep = np.asarray(op(u.values, u.indices, np.zeros_like(u.indices), thunk), dtype=bool)
+        return SparseVector(u.size, u.indices[keep], u.values[keep], u.type)
+
+    def select_matrix(self, a: CSRMatrix, op: IndexUnaryOp, thunk: Any) -> CSRMatrix:
+        """Keep entries where ``op(x, i, j, thunk)`` is truthy."""
+        if a.nvals == 0:
+            return CSRMatrix.empty(a.nrows, a.ncols, a.type)
+        rows = np.repeat(np.arange(a.nrows, dtype=np.int64), a.row_degrees())
+        keep = np.asarray(op(a.values, rows, a.indices, thunk), dtype=bool)
+        indptr = np.zeros(a.nrows + 1, dtype=np.int64)
+        kept_rows = rows[keep]
+        if kept_rows.size:
+            np.add.at(indptr, kept_rows + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return CSRMatrix(a.nrows, a.ncols, indptr, a.indices[keep], a.values[keep], a.type)
+
+    def apply_indexop_vector(
+        self, u: SparseVector, op: IndexUnaryOp, thunk: Any
+    ) -> SparseVector:
+        """Replace each stored value with ``op(x, i, 0, thunk)``."""
+        if u.nvals == 0:
+            return SparseVector.empty(u.size, op.result_type(u.type))
+        out_t = op.result_type(u.type)
+        vals = np.asarray(
+            op(u.values, u.indices, np.zeros_like(u.indices), thunk)
+        ).astype(out_t.dtype, copy=False)
+        return SparseVector(u.size, u.indices.copy(), vals, out_t)
+
+    def apply_indexop_matrix(self, a: CSRMatrix, op: IndexUnaryOp, thunk: Any) -> CSRMatrix:
+        """Replace each stored value with ``op(x, i, j, thunk)``."""
+        out_t = op.result_type(a.type)
+        if a.nvals == 0:
+            return CSRMatrix.empty(a.nrows, a.ncols, out_t)
+        rows = np.repeat(np.arange(a.nrows, dtype=np.int64), a.row_degrees())
+        vals = np.asarray(op(a.values, rows, a.indices, thunk)).astype(out_t.dtype, copy=False)
+        return CSRMatrix(a.nrows, a.ncols, a.indptr.copy(), a.indices.copy(), vals, out_t)
+
+    # ------------------------------------------------------------------
+    # Structural kernels — container-level defaults
+    # ------------------------------------------------------------------
+
+    def transpose(self, a: CSRMatrix) -> CSRMatrix:
+        return a.transpose()
+
+    def charge_assign(self, nvals: int, out) -> None:
+        """Accounting hook: the frontend's assign scatters ``nvals`` entries.
+
+        Real backends do nothing (assign runs in the shared frontend merge);
+        the simulated GPU charges a scatter kernel so assign shows up on the
+        device timeline like it would in a CUDA backend.
+        """
+
+    def extract_vector(self, u: SparseVector, idx: np.ndarray) -> SparseVector:
+        """``t[k] = u[idx[k]]`` keeping only present source entries."""
+        idx = np.asarray(idx, dtype=np.int64)
+        pos = np.searchsorted(u.indices, idx)
+        pos_c = np.minimum(pos, max(u.indices.size - 1, 0))
+        present = (
+            (pos < u.indices.size) & (u.indices[pos_c] == idx)
+            if u.indices.size
+            else np.zeros(idx.size, dtype=bool)
+        )
+        out_idx = np.flatnonzero(present).astype(np.int64)
+        out_vals = u.values[pos[present]] if present.any() else np.empty(0, dtype=u.type.dtype)
+        return SparseVector(idx.size, out_idx, out_vals, u.type)
+
+    def extract_matrix(self, a: CSRMatrix, rows: np.ndarray, cols: np.ndarray) -> CSRMatrix:
+        """``T[p, q] = A[rows[p], cols[q]]`` keeping only present entries."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        # Column gather table: for each source col, list of target positions.
+        col_order = np.argsort(cols, kind="stable")
+        sorted_cols = cols[col_order]
+        out_rows, out_cols, out_vals = [], [], []
+        for p, src_r in enumerate(rows):
+            cidx, cvals = a.row(int(src_r))
+            if cidx.size == 0:
+                continue
+            # For each selected column q, locate A[src_r, cols[q]].
+            loc = np.searchsorted(cidx, sorted_cols)
+            loc_c = np.minimum(loc, cidx.size - 1)
+            present = (loc < cidx.size) & (cidx[loc_c] == sorted_cols)
+            hits = np.flatnonzero(present)
+            if hits.size == 0:
+                continue
+            out_rows.append(np.full(hits.size, p, dtype=np.int64))
+            out_cols.append(col_order[hits])
+            out_vals.append(cvals[loc[hits]])
+        from ..containers.coo import COO
+        from ..containers.convert import coo_to_csr
+
+        if not out_rows:
+            return CSRMatrix.empty(rows.size, cols.size, a.type)
+        coo = COO(
+            rows.size,
+            cols.size,
+            np.concatenate(out_rows),
+            np.concatenate(out_cols),
+            np.concatenate(out_vals),
+            a.type,
+        )
+        # cols (and hence out_cols) may repeat when the extraction index
+        # repeats a column; the spec keeps each as its own entry, and
+        # distinct target positions never collide, so no dup op is needed.
+        return coo_to_csr(coo, dup=None)
+
+    def kronecker(self, a: CSRMatrix, b: CSRMatrix, op: BinaryOp) -> CSRMatrix:
+        """Kronecker product with ``op`` combining value pairs."""
+        out_t = op.result_type(promote(a.type, b.type))
+        if a.nvals == 0 or b.nvals == 0:
+            return CSRMatrix.empty(a.nrows * b.nrows, a.ncols * b.ncols, out_t)
+        a_rows = np.repeat(np.arange(a.nrows, dtype=np.int64), a.row_degrees())
+        b_rows = np.repeat(np.arange(b.nrows, dtype=np.int64), b.row_degrees())
+        rr = (a_rows[:, None] * b.nrows + b_rows[None, :]).ravel()
+        cc = (a.indices[:, None] * b.ncols + b.indices[None, :]).ravel()
+        vv = np.asarray(op(np.repeat(a.values, b.nvals), np.tile(b.values, a.nvals)))
+        from ..containers.coo import COO
+        from ..containers.convert import coo_to_csr
+
+        coo = COO(a.nrows * b.nrows, a.ncols * b.ncols, rr, cc, vv.astype(out_t.dtype), out_t)
+        return coo_to_csr(coo, dup=None)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Backend {self.name}>"

@@ -1,0 +1,5 @@
+"""Vectorized NumPy CPU backend."""
+
+from .backend import CpuBackend
+
+__all__ = ["CpuBackend"]

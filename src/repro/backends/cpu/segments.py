@@ -1,0 +1,85 @@
+"""Segmented reduction — the workhorse of all vectorized sparse kernels.
+
+Expand–sort–reduce kernels (SpMV, SpMSpV, SpGEMM) all end by folding runs of
+values that share a key with the semiring's additive monoid.  For the
+standard monoids this lowers onto ``np.ufunc.reduceat`` (a single C loop);
+arbitrary user monoids fall back to a per-segment Python fold.
+
+Segments are described by ``starts`` (indices of the first element of each
+segment, strictly increasing, ``starts[0] == 0``); each segment is nonempty
+and runs to the next start (last one to ``len(values)``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ...core.monoid import Monoid
+from ...core.operators import BinaryOp
+
+__all__ = ["segment_reduce", "ufunc_for", "run_starts"]
+
+# BinaryOp name -> NumPy ufunc usable with reduceat.
+_UFUNCS: Dict[str, np.ufunc] = {
+    "PLUS": np.add,
+    "TIMES": np.multiply,
+    "MIN": np.minimum,
+    "MAX": np.maximum,
+    "LOR": np.logical_or,
+    "LAND": np.logical_and,
+    "LXOR": np.logical_xor,
+}
+
+
+def ufunc_for(op: BinaryOp) -> Optional[np.ufunc]:
+    """The reduceat-capable ufunc for a binary op, if one exists."""
+    uf = _UFUNCS.get(op.name)
+    if uf is not None:
+        return uf
+    return op.func if isinstance(op.func, np.ufunc) else None
+
+
+def run_starts(keys: np.ndarray) -> np.ndarray:
+    """Start offsets of equal-key runs in a sorted key array."""
+    if keys.size == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.flatnonzero(
+        np.concatenate(([True], keys[1:] != keys[:-1]))
+    ).astype(np.int64)
+
+
+def segment_reduce(
+    values: np.ndarray,
+    starts: np.ndarray,
+    monoid: Monoid,
+    out_dtype: np.dtype,
+) -> np.ndarray:
+    """Fold each (nonempty) segment of ``values`` with the monoid's operator.
+
+    Returns one value per segment, cast to ``out_dtype``.
+    """
+    if starts.size == 0:
+        return np.empty(0, dtype=out_dtype)
+    name = monoid.op.name
+    if name in ("FIRST", "ANY"):
+        return values[starts].astype(out_dtype, copy=False)
+    if name == "SECOND":
+        ends = np.append(starts[1:], values.size) - 1
+        return values[ends].astype(out_dtype, copy=False)
+    uf = ufunc_for(monoid.op)
+    if uf is not None:
+        # reduceat needs the values in the ufunc's natural domain; logical
+        # ufuncs return bool which out_dtype then fixes up.
+        return uf.reduceat(values, starts).astype(out_dtype, copy=False)
+    # Generic fallback: Python fold per segment.
+    bounds = np.append(starts, values.size)
+    out = np.empty(starts.size, dtype=out_dtype)
+    for s in range(starts.size):
+        lo, hi = bounds[s], bounds[s + 1]
+        acc = values[lo]
+        for k in range(lo + 1, hi):
+            acc = monoid(acc, values[k])
+        out[s] = acc
+    return out

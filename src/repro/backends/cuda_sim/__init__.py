@@ -1,0 +1,5 @@
+"""Simulated CUDA backend (see DESIGN.md, hardware substitution)."""
+
+from .backend import CudaSimBackend
+
+__all__ = ["CudaSimBackend"]

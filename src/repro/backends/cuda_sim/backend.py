@@ -1,0 +1,317 @@
+"""The simulated CUDA backend.
+
+Orchestrates the device kernels in :mod:`.kernels` exactly the way
+GBTL-CUDA's backend orchestrated CUSP kernels:
+
+- operand containers are **uploaded** to simulated device memory on first
+  use and cached (a resident set), so repeated operations on the same graph
+  pay the PCIe cost once — as a real GPU graph library keeps the graph on
+  the device across BFS iterations;
+- results are **created device-resident** (no download charged; use
+  :meth:`CudaSimBackend.download` to model an explicit copy-out);
+- each operation is one or more kernel launches whose modeled times
+  accumulate on the device clock; benchmarks read
+  ``get_device().profiler`` for the simulated GPU series.
+
+Semantics are bit-identical to the other backends (the kernels share the
+CPU backend's vectorized semantic code), so the test suite cross-checks all
+three.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Optional
+
+import numpy as np
+
+from ...containers.csc import CSCMatrix
+from ...containers.csr import CSRMatrix
+from ...containers.sparsevec import SparseVector
+from ...core.descriptor import DEFAULT, Descriptor
+from ...core.monoid import Monoid
+from ...core.operators import BinaryOp, UnaryOp
+from ...core.semiring import Semiring
+from ...gpu.device import get_device
+from ...gpu.kernel import LaunchConfig, charge_transfer, launch
+from ..base import Backend
+from ..cpu.spmv import choose_direction, mask_row_candidates
+from .kernels import (
+    APPLY_M,
+    APPLY_V,
+    EWISE_ADD_M,
+    EWISE_ADD_V,
+    EWISE_MULT_M,
+    EWISE_MULT_V,
+    GATHER,
+    REDUCE_ROWS,
+    REDUCE_TREE,
+    SCATTER_ASSIGN,
+    SELECT_COMPACT,
+    SPGEMM_HASH,
+    SPGEMM_HASH_MASKED,
+    SPMSV_PUSH,
+    SPMV_CSR_VECTOR,
+    TRANSPOSE_COUNTSORT,
+)
+
+__all__ = ["CudaSimBackend"]
+
+_RESIDENT_CAP = 256
+
+
+class CudaSimBackend(Backend):
+    """GraphBLAS kernels on the simulated GPU."""
+
+    name = "cuda_sim"
+
+    def __init__(self) -> None:
+        # id(container) -> (container, device buffer); strong refs pin ids
+        # (no reuse while cached). OrderedDict gives cheap LRU eviction;
+        # evicting frees the simulated device memory.
+        self._resident: "OrderedDict[int, Any]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Residency management
+    # ------------------------------------------------------------------
+
+    def _ensure_resident(self, container) -> None:
+        """Charge an H2D upload unless the container is already on-device."""
+        key = id(container)
+        if key in self._resident:
+            self._resident.move_to_end(key)
+            return
+        charge_transfer(container.nbytes, "h2d")
+        self._mark_resident(container, record_h2d=True)
+
+    def _mark_resident(self, container, record_h2d: bool = False) -> None:
+        key = id(container)
+        if key in self._resident:
+            self._resident.move_to_end(key)
+            return
+        buf = get_device().allocator.reserve(container.nbytes, record_h2d=record_h2d)
+        self._resident[key] = (container, buf)
+        self._resident.move_to_end(key)
+        while len(self._resident) > _RESIDENT_CAP:
+            _, (_, old_buf) = self._resident.popitem(last=False)
+            old_buf.free()
+
+    def download(self, container) -> Any:
+        """Model an explicit D2H copy of a result; returns the container."""
+        charge_transfer(container.nbytes, "d2h")
+        return container
+
+    def evict_all(self) -> None:
+        """Forget residency (e.g. between benchmark repetitions)."""
+        for _, buf in self._resident.values():
+            buf.free()
+        self._resident.clear()
+
+    # ------------------------------------------------------------------
+    # Products
+    # ------------------------------------------------------------------
+
+    def mxv(
+        self,
+        a: CSRMatrix,
+        u: SparseVector,
+        semiring: Semiring,
+        mask: Optional[SparseVector] = None,
+        desc: Descriptor = DEFAULT,
+        direction: str = "auto",
+        csc: Optional[CSCMatrix] = None,
+    ) -> SparseVector:
+        self._ensure_resident(a)
+        self._ensure_resident(u)
+        out_t = semiring.result_type(a.type, u.type)
+        d = choose_direction(a, u, mask, desc, direction, csc is not None)
+        if d == "push":
+            tcsr = csc.tcsr if csc is not None else launch(
+                TRANSPOSE_COUNTSORT, LaunchConfig.cover(a.nvals), a
+            )
+            cfg = LaunchConfig.cover(max(u.nvals, 1) * 32)
+            out = launch(SPMSV_PUSH, cfg, tcsr, u, semiring, out_t, False)
+        else:
+            rows = mask_row_candidates(mask, desc)
+            nrows = a.nrows if rows is None else len(rows)
+            cfg = LaunchConfig.cover(max(nrows, 1) * 32)
+            out = launch(SPMV_CSR_VECTOR, cfg, a, u, semiring, out_t, False, rows)
+        self._mark_resident(out)
+        return out
+
+    def vxm(
+        self,
+        u: SparseVector,
+        a: CSRMatrix,
+        semiring: Semiring,
+        mask: Optional[SparseVector] = None,
+        desc: Descriptor = DEFAULT,
+        direction: str = "auto",
+        csc: Optional[CSCMatrix] = None,
+    ) -> SparseVector:
+        self._ensure_resident(a)
+        self._ensure_resident(u)
+        out_t = semiring.result_type(u.type, a.type)
+        d = choose_direction(a, u, mask, desc, direction, True)
+        if d == "push":
+            cfg = LaunchConfig.cover(max(u.nvals, 1) * 32)
+            out = launch(SPMSV_PUSH, cfg, a, u, semiring, out_t, True)
+        else:
+            tcsr = csc.tcsr if csc is not None else launch(
+                TRANSPOSE_COUNTSORT, LaunchConfig.cover(a.nvals), a
+            )
+            rows = mask_row_candidates(mask, desc)
+            nrows = tcsr.nrows if rows is None else len(rows)
+            cfg = LaunchConfig.cover(max(nrows, 1) * 32)
+            out = launch(SPMV_CSR_VECTOR, cfg, tcsr, u, semiring, out_t, True, rows)
+        self._mark_resident(out)
+        return out
+
+    def mxm(
+        self,
+        a: CSRMatrix,
+        b: CSRMatrix,
+        semiring: Semiring,
+        mask: Optional[CSRMatrix] = None,
+        desc: Descriptor = DEFAULT,
+    ) -> CSRMatrix:
+        self._ensure_resident(a)
+        self._ensure_resident(b)
+        out_t = semiring.result_type(a.type, b.type)
+        cfg = LaunchConfig.cover(max(a.nrows, 1) * 64)
+        if mask is not None and not desc.complement_mask:
+            from ..cpu.spgemm import mask_keys_for
+
+            self._ensure_resident(mask)
+            keys = mask_keys_for(mask, desc)
+            out = launch(SPGEMM_HASH_MASKED, cfg, a, b, semiring, out_t, keys)
+        else:
+            out = launch(SPGEMM_HASH, cfg, a, b, semiring, out_t)
+        self._mark_resident(out)
+        return out
+
+    # ------------------------------------------------------------------
+    # Elementwise
+    # ------------------------------------------------------------------
+
+    def _ewise(self, kernel, x, y, op):
+        self._ensure_resident(x)
+        self._ensure_resident(y)
+        out = launch(kernel, LaunchConfig.cover(x.nvals + y.nvals), x, y, op)
+        self._mark_resident(out)
+        return out
+
+    def ewise_add_vector(self, u: SparseVector, v: SparseVector, op: BinaryOp) -> SparseVector:
+        return self._ewise(EWISE_ADD_V, u, v, op)
+
+    def ewise_mult_vector(self, u: SparseVector, v: SparseVector, op: BinaryOp) -> SparseVector:
+        return self._ewise(EWISE_MULT_V, u, v, op)
+
+    def ewise_add_matrix(self, a: CSRMatrix, b: CSRMatrix, op: BinaryOp) -> CSRMatrix:
+        return self._ewise(EWISE_ADD_M, a, b, op)
+
+    def ewise_mult_matrix(self, a: CSRMatrix, b: CSRMatrix, op: BinaryOp) -> CSRMatrix:
+        return self._ewise(EWISE_MULT_M, a, b, op)
+
+    # ------------------------------------------------------------------
+    # Apply / reduce / transpose
+    # ------------------------------------------------------------------
+
+    def apply_vector(self, u: SparseVector, op: UnaryOp) -> SparseVector:
+        self._ensure_resident(u)
+        out = launch(APPLY_V, LaunchConfig.cover(u.nvals), u, op)
+        self._mark_resident(out)
+        return out
+
+    def apply_matrix(self, a: CSRMatrix, op: UnaryOp) -> CSRMatrix:
+        self._ensure_resident(a)
+        out = launch(APPLY_M, LaunchConfig.cover(a.nvals), a, op)
+        self._mark_resident(out)
+        return out
+
+    def reduce_vector_scalar(self, u: SparseVector, monoid: Monoid) -> Any:
+        self._ensure_resident(u)
+        t = monoid.result_type(u.type)
+        val = launch(REDUCE_TREE, LaunchConfig.cover(u.nvals), u.values, monoid, u.type)
+        return t.cast(val)
+
+    def reduce_matrix_vector(self, a: CSRMatrix, monoid: Monoid) -> SparseVector:
+        self._ensure_resident(a)
+        out = launch(REDUCE_ROWS, LaunchConfig.cover(max(a.nrows, 1) * 32), a, monoid)
+        self._mark_resident(out)
+        return out
+
+    def reduce_matrix_scalar(self, a: CSRMatrix, monoid: Monoid) -> Any:
+        self._ensure_resident(a)
+        t = monoid.result_type(a.type)
+        val = launch(REDUCE_TREE, LaunchConfig.cover(a.nvals), a.values, monoid, a.type)
+        return t.cast(val)
+
+    def transpose(self, a: CSRMatrix) -> CSRMatrix:
+        self._ensure_resident(a)
+        out = launch(TRANSPOSE_COUNTSORT, LaunchConfig.cover(a.nvals), a)
+        self._mark_resident(out)
+        return out
+
+    # ------------------------------------------------------------------
+    # Select / indexed apply accounting
+    # ------------------------------------------------------------------
+
+    def _select_launch(self, src, thunk_fn):
+        self._ensure_resident(src)
+        out = launch(
+            SELECT_COMPACT,
+            LaunchConfig.cover(src.nvals),
+            thunk_fn,
+            float(src.nvals),
+            src.type.nbytes,
+        )
+        self._mark_resident(out)
+        return out
+
+    def select_vector(self, u, op, thunk):
+        return self._select_launch(u, lambda: super(CudaSimBackend, self).select_vector(u, op, thunk))
+
+    def select_matrix(self, a, op, thunk):
+        return self._select_launch(a, lambda: super(CudaSimBackend, self).select_matrix(a, op, thunk))
+
+    def apply_indexop_vector(self, u, op, thunk):
+        return self._select_launch(
+            u, lambda: super(CudaSimBackend, self).apply_indexop_vector(u, op, thunk)
+        )
+
+    def apply_indexop_matrix(self, a, op, thunk):
+        return self._select_launch(
+            a, lambda: super(CudaSimBackend, self).apply_indexop_matrix(a, op, thunk)
+        )
+
+    # ------------------------------------------------------------------
+    # Extract / assign accounting
+    # ------------------------------------------------------------------
+
+    def extract_vector(self, u: SparseVector, idx: np.ndarray) -> SparseVector:
+        self._ensure_resident(u)
+        out = launch(
+            GATHER,
+            LaunchConfig.cover(len(idx)),
+            lambda: super(CudaSimBackend, self).extract_vector(u, idx),
+            len(idx),
+            u.type.nbytes,
+        )
+        self._mark_resident(out)
+        return out
+
+    def extract_matrix(self, a: CSRMatrix, rows: np.ndarray, cols: np.ndarray) -> CSRMatrix:
+        self._ensure_resident(a)
+        out = launch(
+            GATHER,
+            LaunchConfig.cover(len(rows) * max(len(cols), 1)),
+            lambda: super(CudaSimBackend, self).extract_matrix(a, rows, cols),
+            float(len(rows)) * max(len(cols), 1),
+            a.type.nbytes,
+        )
+        self._mark_resident(out)
+        return out
+
+    def charge_assign(self, nvals: int, out) -> None:
+        launch(SCATTER_ASSIGN, LaunchConfig.cover(nvals), float(nvals), 8)

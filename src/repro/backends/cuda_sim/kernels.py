@@ -1,0 +1,434 @@
+"""Device kernels of the simulated CUDA backend.
+
+Each kernel pairs the semantic computation (shared with the CPU backend's
+vectorized kernels — the simulation's "device code") with a *work estimator*
+that inspects the actual operands and reports FLOPs, bytes by access class,
+thread count, and SIMT divergence, from which the cost model derives the
+simulated duration.  The kernel structures mirror what GBTL-CUDA used via
+CUSP:
+
+- ``spmv_csr_vector`` — warp-per-row CSR SpMV (pull);
+- ``spmsv_push`` — frontier-expansion scatter SpMSpV (push);
+- ``spgemm_hash`` — block-per-row hash SpGEMM;
+- ``ewise_map`` / ``apply_map`` — flat elementwise maps;
+- ``reduce_tree`` — tree reduction;
+- ``transpose_countsort`` — counting-sort transpose.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from ...containers.csr import CSRMatrix
+from ...containers.sparsevec import SparseVector
+from ...core.monoid import Monoid
+from ...core.operators import BinaryOp, UnaryOp
+from ...core.semiring import Semiring
+from ...gpu.costmodel import KernelWork
+from ...gpu.kernel import Kernel
+from ...gpu.simt import (
+    COALESCING,
+    divergence_thread_per_row,
+    divergence_warp_per_row,
+)
+from ...types import GrBType, promote
+from ..cpu.ewise import ewise_add_mat, ewise_add_vec, ewise_mult_mat, ewise_mult_vec
+from ..cpu.reduce_apply import apply_mat, apply_vec, reduce_mat_vector
+from ..cpu.spgemm import spgemm_esr
+from ..cpu.spmv import row_gather_product, scatter_product, take_ranges
+
+__all__ = [
+    "combine_coalescing",
+    "SPMV_CSR_VECTOR",
+    "SPMSV_PUSH",
+    "SPGEMM_HASH",
+    "EWISE_ADD_V",
+    "EWISE_MULT_V",
+    "EWISE_ADD_M",
+    "EWISE_MULT_M",
+    "APPLY_V",
+    "APPLY_M",
+    "REDUCE_TREE",
+    "REDUCE_ROWS",
+    "TRANSPOSE_COUNTSORT",
+]
+
+
+def combine_coalescing(parts: Iterable[Tuple[float, str]]) -> Tuple[float, float]:
+    """Fold (bytes, access-class) parts into (total_bytes, effective factor).
+
+    The cost model divides bandwidth by one factor, so transfer time is
+    ``total · factor / bw``; the byte-weighted mean of the per-class factors
+    preserves the summed per-part times: ``total · f_eff = Σ bytes_i · f_i``.
+    """
+    total = 0.0
+    weighted = 0.0
+    for nbytes, klass in parts:
+        f = COALESCING[klass]
+        total += nbytes
+        weighted += nbytes * f
+    if total <= 0.0:
+        return 0.0, 1.0
+    return total, weighted / total
+
+
+_IDX = 8  # bytes per index (int64)
+
+
+# ---------------------------------------------------------------------------
+# SpMV — warp-per-row CSR-vector kernel (pull direction)
+# ---------------------------------------------------------------------------
+
+
+def _spmv_run(a, u, semiring, out_type, flip, rows):
+    return row_gather_product(a, u, semiring, out_type, flip=flip, rows=rows)
+
+
+def _spmv_work(a: CSRMatrix, u: SparseVector, semiring, out_type, flip, rows) -> KernelWork:
+    if rows is None:
+        lens = a.row_degrees()
+        nrows = a.nrows
+    else:
+        lens = a.indptr[np.asarray(rows) + 1] - a.indptr[np.asarray(rows)]
+        nrows = len(rows)
+    nnz = float(lens.sum())
+    item = a.type.nbytes
+    reads, coal = combine_coalescing(
+        [
+            (2.0 * nrows * _IDX, "sequential"),  # indptr
+            (nnz * (_IDX + item), "segmented"),  # column indices + values
+            (nnz * (u.type.nbytes + _IDX), "gather"),  # x[col] lookups (binary probe)
+        ]
+    )
+    written = float(min(nrows, u.nvals * 8 + nrows)) * (out_type.nbytes + _IDX)
+    return KernelWork(
+        flops=2.0 * nnz,
+        bytes_read=reads,
+        bytes_written=written,
+        threads=nrows * 32,
+        divergence=divergence_warp_per_row(lens),
+        coalescing=coal,
+    )
+
+
+SPMV_CSR_VECTOR = Kernel("spmv_csr_vector", _spmv_run, _spmv_work)
+
+
+# ---------------------------------------------------------------------------
+# SpMSpV — frontier-expansion push kernel
+# ---------------------------------------------------------------------------
+
+
+def _spmsv_run(csr, u, semiring, out_type, flip):
+    return scatter_product(csr, u, semiring, out_type, flip=flip)
+
+
+def _spmsv_work(csr: CSRMatrix, u: SparseVector, semiring, out_type, flip) -> KernelWork:
+    lens = csr.indptr[u.indices + 1] - csr.indptr[u.indices]
+    expanded = float(lens.sum())
+    item = csr.type.nbytes
+    reads, coal_r = combine_coalescing(
+        [
+            (2.0 * u.nvals * _IDX, "gather"),  # indptr probes at frontier rows
+            (expanded * (_IDX + item), "segmented"),  # expanded row slices
+        ]
+    )
+    # Scattered combine of duplicates (atomics on the output).
+    writes, coal_w = combine_coalescing([(expanded * (out_type.nbytes + _IDX), "atomic")])
+    total = reads + writes
+    coal = (reads * coal_r + writes * coal_w) / total if total else 1.0
+    return KernelWork(
+        flops=2.0 * expanded,
+        bytes_read=reads,
+        bytes_written=writes,
+        threads=max(int(u.nvals), 1) * 32,
+        divergence=divergence_thread_per_row(lens),
+        coalescing=coal,
+    )
+
+
+SPMSV_PUSH = Kernel("spmsv_push", _spmsv_run, _spmsv_work)
+
+
+# ---------------------------------------------------------------------------
+# SpGEMM — hash-per-row kernel
+# ---------------------------------------------------------------------------
+
+
+def _spgemm_run(a, b, semiring, out_type):
+    return spgemm_esr(a, b, semiring, out_type)
+
+
+def _spgemm_work(a: CSRMatrix, b: CSRMatrix, semiring, out_type) -> KernelWork:
+    # FLOPs: one multiply+add per expanded partial product.
+    _, lens = take_ranges(b.indptr, a.indices)
+    expanded = float(lens.sum())
+    item = a.type.nbytes
+    # Per-output-row work drives divergence for a block-per-row kernel.
+    row_flops = np.zeros(a.nrows, dtype=np.float64)
+    if a.nvals:
+        a_rows = np.repeat(np.arange(a.nrows, dtype=np.int64), a.row_degrees())
+        np.add.at(row_flops, a_rows, lens.astype(np.float64))
+    reads, coal = combine_coalescing(
+        [
+            (a.nvals * (_IDX + item), "segmented"),  # A entries
+            (expanded * (_IDX + item), "gather"),  # B row slices per A entry
+        ]
+    )
+    writes = expanded * (out_type.nbytes + _IDX)  # hash-table updates
+    total = reads + writes
+    coal = (reads * coal + writes * COALESCING["atomic"]) / total if total else 1.0
+    return KernelWork(
+        flops=2.0 * expanded,
+        bytes_read=reads,
+        bytes_written=writes,
+        threads=max(a.nrows, 1) * 64,
+        divergence=divergence_thread_per_row(row_flops, warp_size=32),
+        coalescing=coal,
+    )
+
+
+SPGEMM_HASH = Kernel("spgemm_hash", _spgemm_run, _spgemm_work)
+
+
+def _spgemm_masked_run(a, b, semiring, out_type, allowed_keys):
+    from ..cpu.spgemm import spgemm_masked_esr
+
+    return spgemm_masked_esr(a, b, semiring, out_type, allowed_keys)
+
+
+def _spgemm_masked_work(a: CSRMatrix, b: CSRMatrix, semiring, out_type, allowed_keys) -> KernelWork:
+    """Masked hash SpGEMM: probes still expand every partial product, but
+    hash-table writes only happen at mask positions, so write traffic (the
+    atomic, worst-coalesced part) scales with the mask instead of the
+    expansion."""
+    _, lens = take_ranges(b.indptr, a.indices)
+    expanded = float(lens.sum())
+    item = a.type.nbytes
+    row_flops = np.zeros(a.nrows, dtype=np.float64)
+    if a.nvals:
+        a_rows = np.repeat(np.arange(a.nrows, dtype=np.int64), a.row_degrees())
+        np.add.at(row_flops, a_rows, lens.astype(np.float64))
+    reads, coal_r = combine_coalescing(
+        [
+            (a.nvals * (_IDX + item), "segmented"),  # A entries
+            (expanded * (_IDX + item), "gather"),  # B row slices
+            (expanded * _IDX, "gather"),  # mask membership probes
+        ]
+    )
+    # Writes bounded by mask size (each allowed key updated ~a few times).
+    writes = min(float(allowed_keys.size) * 4.0, max(expanded, 1.0)) * (
+        out_type.nbytes + _IDX
+    )
+    total = reads + writes
+    coal = (reads * coal_r + writes * COALESCING["atomic"]) / total if total else 1.0
+    return KernelWork(
+        flops=2.0 * expanded,
+        bytes_read=reads,
+        bytes_written=writes,
+        threads=max(a.nrows, 1) * 64,
+        divergence=divergence_thread_per_row(row_flops, warp_size=32),
+        coalescing=coal,
+    )
+
+
+SPGEMM_HASH_MASKED = Kernel("spgemm_hash_masked", _spgemm_masked_run, _spgemm_masked_work)
+
+
+# ---------------------------------------------------------------------------
+# Elementwise maps
+# ---------------------------------------------------------------------------
+
+
+def _ewise_work_v(u: SparseVector, v: SparseVector, op) -> KernelWork:
+    n = float(u.nvals + v.nvals)
+    item = max(u.type.nbytes, v.type.nbytes)
+    reads, coal = combine_coalescing([(n * (item + _IDX), "sequential")])
+    return KernelWork(
+        flops=n,
+        bytes_read=reads,
+        bytes_written=n * (item + _IDX),
+        threads=max(int(n), 1),
+        divergence=1.0,
+        coalescing=coal,
+    )
+
+
+def _ewise_work_m(a: CSRMatrix, b: CSRMatrix, op) -> KernelWork:
+    n = float(a.nvals + b.nvals)
+    item = max(a.type.nbytes, b.type.nbytes)
+    reads, coal = combine_coalescing([(n * (item + _IDX), "sequential")])
+    return KernelWork(
+        flops=n,
+        bytes_read=reads,
+        bytes_written=n * (item + _IDX),
+        threads=max(int(n), 1),
+        divergence=1.0,
+        coalescing=coal,
+    )
+
+
+EWISE_ADD_V = Kernel("ewise_add_v", lambda u, v, op: ewise_add_vec(u, v, op), _ewise_work_v)
+EWISE_MULT_V = Kernel("ewise_mult_v", lambda u, v, op: ewise_mult_vec(u, v, op), _ewise_work_v)
+EWISE_ADD_M = Kernel("ewise_add_m", lambda a, b, op: ewise_add_mat(a, b, op), _ewise_work_m)
+EWISE_MULT_M = Kernel("ewise_mult_m", lambda a, b, op: ewise_mult_mat(a, b, op), _ewise_work_m)
+
+
+# ---------------------------------------------------------------------------
+# Apply, reduce, transpose
+# ---------------------------------------------------------------------------
+
+
+def _apply_work_v(u: SparseVector, op) -> KernelWork:
+    n = float(u.nvals)
+    item = u.type.nbytes
+    return KernelWork(
+        flops=n,
+        bytes_read=n * item,
+        bytes_written=n * item,
+        threads=max(int(n), 1),
+    )
+
+
+def _apply_work_m(a: CSRMatrix, op) -> KernelWork:
+    n = float(a.nvals)
+    item = a.type.nbytes
+    return KernelWork(
+        flops=n,
+        bytes_read=n * item,
+        bytes_written=n * item,
+        threads=max(int(n), 1),
+    )
+
+
+APPLY_V = Kernel("apply_v", lambda u, op: apply_vec(u, op), _apply_work_v)
+APPLY_M = Kernel("apply_m", lambda a, op: apply_mat(a, op), _apply_work_m)
+
+
+def _reduce_tree_run(values: np.ndarray, monoid: Monoid, typ: GrBType):
+    return monoid.reduce_array(values, typ)
+
+
+def _reduce_tree_work(values: np.ndarray, monoid, typ) -> KernelWork:
+    n = float(values.size)
+    item = values.dtype.itemsize
+    # log2(n) passes, but bytes dominated by the first: charge 2n reads.
+    return KernelWork(
+        flops=n,
+        bytes_read=2.0 * n * item,
+        bytes_written=max(n / 256.0, 1.0) * item,
+        threads=max(int(n), 1),
+    )
+
+
+REDUCE_TREE = Kernel("reduce_tree", _reduce_tree_run, _reduce_tree_work)
+
+
+def _reduce_rows_work(a: CSRMatrix, monoid) -> KernelWork:
+    lens = a.row_degrees()
+    n = float(a.nvals)
+    item = a.type.nbytes
+    return KernelWork(
+        flops=n,
+        bytes_read=n * item + a.nrows * 2 * _IDX,
+        bytes_written=a.nrows * (item + _IDX),
+        threads=max(a.nrows, 1) * 32,
+        divergence=divergence_warp_per_row(lens),
+    )
+
+
+REDUCE_ROWS = Kernel(
+    "reduce_rows", lambda a, monoid: reduce_mat_vector(a, monoid), _reduce_rows_work
+)
+
+
+def _transpose_work(a: CSRMatrix) -> KernelWork:
+    n = float(a.nvals)
+    item = a.type.nbytes
+    reads, coal = combine_coalescing(
+        [
+            (n * (_IDX + item), "sequential"),
+            (n * (_IDX + item), "scatter"),  # counting-sort scatter phase
+        ]
+    )
+    return KernelWork(
+        flops=n,
+        bytes_read=reads / 2,
+        bytes_written=reads / 2,
+        threads=max(int(n), 1),
+        coalescing=coal,
+    )
+
+
+TRANSPOSE_COUNTSORT = Kernel(
+    "transpose_countsort", lambda a: a.transpose(), _transpose_work
+)
+
+
+# ---------------------------------------------------------------------------
+# Extract (gather) and assign (scatter) accounting kernels
+# ---------------------------------------------------------------------------
+
+
+def _gather_work(n_lookups: float, item: int) -> KernelWork:
+    reads, coal = combine_coalescing([(n_lookups * (item + _IDX), "gather")])
+    return KernelWork(
+        flops=n_lookups,
+        bytes_read=reads,
+        bytes_written=n_lookups * (item + _IDX),
+        threads=max(int(n_lookups), 1),
+        coalescing=coal,
+    )
+
+
+def _gather_run(fn, n, item):
+    # The run arg is a thunk computing the semantics; n/item size the work.
+    return fn()
+
+
+GATHER = Kernel("gather_extract", _gather_run, lambda fn, n, item: _gather_work(n, item))
+
+
+def _scatter_work(nvals: float, item: int) -> KernelWork:
+    writes, coal = combine_coalescing([(nvals * (item + _IDX), "scatter")])
+    return KernelWork(
+        flops=nvals,
+        bytes_read=nvals * (item + _IDX),
+        bytes_written=writes,
+        threads=max(int(nvals), 1),
+        coalescing=coal,
+    )
+
+
+SCATTER_ASSIGN = Kernel(
+    "scatter_assign", lambda n, item: None, lambda n, item: _scatter_work(n, item)
+)
+
+
+def _select_work(nvals: float, item: int) -> KernelWork:
+    """select / indexed-apply: stream entries, evaluate predicate, compact
+    with a prefix-sum (charged as an extra index pass)."""
+    reads, coal = combine_coalescing(
+        [
+            (nvals * (item + 2 * _IDX), "sequential"),  # values + coords
+            (nvals * _IDX, "sequential"),  # prefix-sum pass
+        ]
+    )
+    return KernelWork(
+        flops=2.0 * nvals,
+        bytes_read=reads,
+        bytes_written=nvals * (item + _IDX),
+        threads=max(int(nvals), 1),
+        coalescing=coal,
+    )
+
+
+def _select_run(fn, nvals, item):
+    return fn()
+
+
+SELECT_COMPACT = Kernel(
+    "select_compact", _select_run, lambda fn, nvals, item: _select_work(nvals, item)
+)

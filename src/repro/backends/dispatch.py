@@ -1,0 +1,111 @@
+"""Backend registry and selection.
+
+The active backend is process-global with a context-manager override, so an
+algorithm written once runs on any backend::
+
+    with use_backend("cuda_sim"):
+        levels = bfs_levels(graph, source)
+
+Backends register themselves on import via :func:`register_backend`; the
+three built-ins are imported lazily the first time they are requested so that
+importing :mod:`repro` stays cheap.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, Union
+
+from .base import Backend
+
+__all__ = [
+    "register_backend",
+    "get_backend",
+    "set_default_backend",
+    "current_backend",
+    "use_backend",
+    "available_backends",
+]
+
+_FACTORIES: Dict[str, Callable[[], Backend]] = {}
+_INSTANCES: Dict[str, Backend] = {}
+_LOCK = threading.Lock()
+_STATE = threading.local()
+_DEFAULT_NAME = "cpu"
+
+
+def register_backend(name: str, factory: Callable[[], Backend]) -> None:
+    """Register a backend factory under ``name`` (overwrites allowed)."""
+    with _LOCK:
+        _FACTORIES[name] = factory
+        _INSTANCES.pop(name, None)
+
+
+def _builtin(name: str) -> None:
+    """Import-on-demand registration of the built-in backends."""
+    if name in _FACTORIES:
+        return
+    if name == "reference":
+        from .reference.backend import ReferenceBackend
+
+        register_backend("reference", ReferenceBackend)
+    elif name == "cpu":
+        from .cpu.backend import CpuBackend
+
+        register_backend("cpu", CpuBackend)
+    elif name == "cuda_sim":
+        from .cuda_sim.backend import CudaSimBackend
+
+        register_backend("cuda_sim", CudaSimBackend)
+
+
+def get_backend(name: str) -> Backend:
+    """Return the (singleton) backend instance for ``name``."""
+    _builtin(name)
+    with _LOCK:
+        inst = _INSTANCES.get(name)
+        if inst is None:
+            try:
+                factory = _FACTORIES[name]
+            except KeyError:
+                raise KeyError(
+                    f"unknown backend {name!r}; known: {sorted(set(_FACTORIES) | {'reference', 'cpu', 'cuda_sim'})}"
+                ) from None
+            inst = factory()
+            _INSTANCES[name] = inst
+        return inst
+
+
+def available_backends() -> list:
+    """Names of all registerable backends (built-ins + user-registered)."""
+    return sorted(set(_FACTORIES) | {"reference", "cpu", "cuda_sim"})
+
+
+def set_default_backend(name: str) -> None:
+    """Set the process-wide default backend (validates eagerly)."""
+    global _DEFAULT_NAME
+    get_backend(name)
+    _DEFAULT_NAME = name
+
+
+def current_backend() -> Backend:
+    """The backend in effect for the calling thread."""
+    stack = getattr(_STATE, "stack", None)
+    if stack:
+        return stack[-1]
+    return get_backend(_DEFAULT_NAME)
+
+
+@contextmanager
+def use_backend(backend: Union[str, Backend]) -> Iterator[Backend]:
+    """Temporarily switch the calling thread to another backend."""
+    inst = get_backend(backend) if isinstance(backend, str) else backend
+    stack = getattr(_STATE, "stack", None)
+    if stack is None:
+        stack = _STATE.stack = []
+    stack.append(inst)
+    try:
+        yield inst
+    finally:
+        stack.pop()

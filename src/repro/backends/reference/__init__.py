@@ -1,0 +1,5 @@
+"""Pure-Python reference backend (semantics oracle)."""
+
+from .backend import ReferenceBackend
+
+__all__ = ["ReferenceBackend"]

@@ -1,0 +1,19 @@
+"""Benchmark substrate: timing harness, workload suite, table rendering."""
+
+from .harness import Measurement, simulated_gpu_time, time_operation
+from .tables import check_ordering, format_series, format_table, speedup
+from .workloads import WORKLOADS, get_workload, random_frontier, workload_names
+
+__all__ = [
+    "Measurement",
+    "simulated_gpu_time",
+    "time_operation",
+    "check_ordering",
+    "format_series",
+    "format_table",
+    "speedup",
+    "WORKLOADS",
+    "get_workload",
+    "random_frontier",
+    "workload_names",
+]

@@ -1,0 +1,26 @@
+"""Sparse storage containers shared by all backends.
+
+- :class:`COO` — build/staging triplets;
+- :class:`CSRMatrix` — canonical row-compressed compute format;
+- :class:`CSCMatrix` — column view for pull-direction kernels;
+- :class:`SparseVector` — sparse frontiers and results;
+- :class:`BitmapVector` — dense-with-presence-mask state vectors;
+- :mod:`~repro.containers.convert` — conversions between them.
+"""
+
+from .bitmap import BitmapVector
+from .coo import COO, dedupe_triplets
+from .csc import CSCMatrix
+from .csr import CSRMatrix
+from .sparsevec import SparseVector
+from . import convert
+
+__all__ = [
+    "BitmapVector",
+    "COO",
+    "CSCMatrix",
+    "CSRMatrix",
+    "SparseVector",
+    "convert",
+    "dedupe_triplets",
+]

@@ -1,0 +1,212 @@
+"""CSR (compressed sparse row) matrix container.
+
+CSR is the canonical compute format, as in CUSP/GBTL-CUDA.  The container is
+*canonical*: column indices within each row are strictly increasing and
+duplicate-free, which every kernel relies on.  Construction from unsorted
+data goes through :class:`~repro.containers.coo.COO`.
+
+The arrays are plain NumPy so the CPU backend vectorizes over them directly
+and the GPU simulator "uploads" them as device buffers without copies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import IndexOutOfBoundsError, InvalidObjectError, InvalidValueError
+from ..types import GrBType, from_dtype
+from .coo import COO
+
+__all__ = ["CSRMatrix"]
+
+
+class CSRMatrix:
+    """Canonical CSR storage: ``indptr`` (n+1), ``indices``, ``values``.
+
+    Invariants (checked by :meth:`validate`):
+
+    - ``indptr`` is nondecreasing, ``indptr[0] == 0``,
+      ``indptr[-1] == len(indices) == len(values)``;
+    - column indices are strictly increasing within each row;
+    - all column indices lie in ``[0, ncols)``.
+    """
+
+    __slots__ = ("nrows", "ncols", "indptr", "indices", "values", "type")
+
+    def __init__(self, nrows, ncols, indptr, indices, values, typ: Optional[GrBType] = None):
+        self.nrows = int(nrows)
+        self.ncols = int(ncols)
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        values = np.asarray(values)
+        if typ is not None:
+            values = values.astype(typ.dtype, copy=False)
+        self.values = np.ascontiguousarray(values)
+        self.type = typ if typ is not None else from_dtype(self.values.dtype)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def empty(cls, nrows: int, ncols: int, typ: GrBType) -> "CSRMatrix":
+        """A matrix with no stored entries."""
+        if nrows < 0 or ncols < 0:
+            raise InvalidValueError(f"negative dimensions ({nrows}, {ncols})")
+        return cls(
+            nrows,
+            ncols,
+            np.zeros(nrows + 1, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=typ.dtype),
+            typ,
+        )
+
+    @classmethod
+    def from_coo(cls, coo: COO) -> "CSRMatrix":
+        """Build from *deduplicated, sorted* COO triplets."""
+        indptr = np.zeros(coo.nrows + 1, dtype=np.int64)
+        np.add.at(indptr, coo.rows + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return cls(coo.nrows, coo.ncols, indptr, coo.cols.copy(), coo.vals.copy(), coo.type)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, typ: Optional[GrBType] = None) -> "CSRMatrix":
+        """Build from a 2-D array; zeros become implicit (not stored)."""
+        dense = np.asarray(dense)
+        if dense.ndim != 2:
+            raise InvalidValueError("from_dense requires a 2-D array")
+        rows, cols = np.nonzero(dense)
+        coo = COO(dense.shape[0], dense.shape[1], rows, cols, dense[rows, cols], typ)
+        return cls.from_coo(coo)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.nrows, self.ncols)
+
+    @property
+    def nvals(self) -> int:
+        return int(self.indices.size)
+
+    @property
+    def nbytes(self) -> int:
+        """Storage footprint — what a device upload would move."""
+        return self.indptr.nbytes + self.indices.nbytes + self.values.nbytes
+
+    def row(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Views of row ``i``'s column indices and values."""
+        if not 0 <= i < self.nrows:
+            raise IndexOutOfBoundsError(f"row {i} outside [0, {self.nrows})")
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.values[lo:hi]
+
+    def row_degrees(self) -> np.ndarray:
+        """Number of stored entries in each row."""
+        return np.diff(self.indptr)
+
+    def get(self, i: int, j: int):
+        """The stored value at (i, j), or None if implicit."""
+        if not 0 <= i < self.nrows:
+            raise IndexOutOfBoundsError(f"row {i} outside [0, {self.nrows})")
+        if not 0 <= j < self.ncols:
+            raise IndexOutOfBoundsError(f"col {j} outside [0, {self.ncols})")
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        k = np.searchsorted(self.indices[lo:hi], j)
+        if k < hi - lo and self.indices[lo + k] == j:
+            return self.values[lo + k]
+        return None
+
+    def iter_triplets(self) -> Iterator[Tuple[int, int, object]]:
+        """Yield (row, col, value) in row-major order (reference backend)."""
+        for i in range(self.nrows):
+            lo, hi = self.indptr[i], self.indptr[i + 1]
+            for k in range(lo, hi):
+                yield i, int(self.indices[k]), self.values[k]
+
+    def to_coo(self) -> COO:
+        rows = np.repeat(np.arange(self.nrows, dtype=np.int64), self.row_degrees())
+        return COO(self.nrows, self.ncols, rows, self.indices.copy(), self.values.copy(), self.type)
+
+    def to_dense(self, fill=0) -> np.ndarray:
+        """Dense 2-D array with ``fill`` at implicit positions."""
+        out = np.full((self.nrows, self.ncols), fill, dtype=self.type.dtype)
+        rows = np.repeat(np.arange(self.nrows, dtype=np.int64), self.row_degrees())
+        out[rows, self.indices] = self.values
+        return out
+
+    def copy(self) -> "CSRMatrix":
+        return CSRMatrix(
+            self.nrows,
+            self.ncols,
+            self.indptr.copy(),
+            self.indices.copy(),
+            self.values.copy(),
+            self.type,
+        )
+
+    def astype(self, typ: GrBType) -> "CSRMatrix":
+        if typ is self.type:
+            return self
+        return CSRMatrix(
+            self.nrows,
+            self.ncols,
+            self.indptr,
+            self.indices,
+            self.values.astype(typ.dtype),
+            typ,
+        )
+
+    # ------------------------------------------------------------------
+    # Transforms
+    # ------------------------------------------------------------------
+
+    def transpose(self) -> "CSRMatrix":
+        """CSR of the transpose (a stable counting-sort by column)."""
+        nnz = self.nvals
+        t_indptr = np.zeros(self.ncols + 1, dtype=np.int64)
+        if nnz:
+            np.add.at(t_indptr, self.indices + 1, 1)
+        np.cumsum(t_indptr, out=t_indptr)
+        t_indices = np.empty(nnz, dtype=np.int64)
+        t_values = np.empty(nnz, dtype=self.values.dtype)
+        if nnz:
+            rows = np.repeat(np.arange(self.nrows, dtype=np.int64), self.row_degrees())
+            # Stable sort by column preserves row order within each column,
+            # so the transposed rows come out with sorted indices.
+            order = np.argsort(self.indices, kind="stable")
+            t_indices[:] = rows[order]
+            t_values[:] = self.values[order]
+        return CSRMatrix(self.ncols, self.nrows, t_indptr, t_indices, t_values, self.type)
+
+    def validate(self) -> None:
+        """Check all structural invariants; raise InvalidObjectError if broken."""
+        ip = self.indptr
+        if ip.shape != (self.nrows + 1,):
+            raise InvalidObjectError("indptr has wrong length")
+        if ip.size and (ip[0] != 0 or ip[-1] != self.indices.size):
+            raise InvalidObjectError("indptr endpoints inconsistent with indices")
+        if np.any(np.diff(ip) < 0):
+            raise InvalidObjectError("indptr is not nondecreasing")
+        if self.indices.size != self.values.size:
+            raise InvalidObjectError("indices and values lengths differ")
+        if self.indices.size:
+            if self.indices.min() < 0 or self.indices.max() >= self.ncols:
+                raise InvalidObjectError("column index out of range")
+            # Strictly increasing within each row.
+            d = np.diff(self.indices)
+            # Positions where a new row begins are not within-row gaps.
+            row_starts = ip[1:-1]
+            row_starts = row_starts[(row_starts > 0) & (row_starts < self.indices.size)]
+            interior = np.ones(self.indices.size - 1, dtype=bool)
+            interior[row_starts - 1] = False
+            if np.any(d[interior] <= 0):
+                raise InvalidObjectError("column indices not strictly increasing in a row")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CSRMatrix({self.nrows}x{self.ncols}, nvals={self.nvals}, {self.type.name})"

@@ -1,0 +1,339 @@
+"""Assign operations: write a vector/matrix/scalar into a region of another.
+
+Semantics follow ``GxB_subassign`` (the variant GBTL-era code used): the
+mask and the ``replace`` flag act only *inside* the assigned region
+``I`` (×``J``); entries outside the region are never touched.  Within the
+region the standard pipeline applies:
+
+- no accumulator → region positions allowed by the mask take the source
+  entry, or become empty when the source has none there;
+- accumulator → source entries merge into existing entries;
+- ``replace`` → region entries whose mask is false are deleted.
+
+Index lists must be duplicate-free (spec requirement); ``None`` means "all
+indices" (``GrB_ALL``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from ..backends.dispatch import current_backend
+from ..containers.csr import CSRMatrix
+from ..containers.sparsevec import SparseVector
+from ..exceptions import DimensionMismatchError, IndexOutOfBoundsError, InvalidValueError
+from .descriptor import DEFAULT, Descriptor
+from .mask import flat_keys, matrix_mask_at, vector_mask_at
+from .matrix import Matrix
+from .operators import BinaryOp
+from .vector import Vector
+
+__all__ = ["assign", "assign_scalar", "assign_row", "assign_col"]
+
+
+def _index_array(idx, dim: int, what: str) -> np.ndarray:
+    if idx is None:
+        return np.arange(dim, dtype=np.int64)
+    arr = np.asarray(idx, dtype=np.int64)
+    if arr.size:
+        if arr.min() < 0 or arr.max() >= dim:
+            raise IndexOutOfBoundsError(f"{what} index outside [0, {dim})")
+        if np.unique(arr).size != arr.size:
+            raise InvalidValueError(f"duplicate {what} indices in assign")
+    return arr
+
+
+def _merge_region_vector(
+    c: SparseVector,
+    t_idx: np.ndarray,
+    t_vals: np.ndarray,
+    region: np.ndarray,
+    mask,
+    accum: Optional[BinaryOp],
+    desc: Descriptor,
+) -> SparseVector:
+    """Write (t_idx, t_vals) into ``c`` restricted to sorted ``region``."""
+    out_dtype = c.type.dtype
+    t_vals = np.asarray(t_vals).astype(out_dtype, copy=False)
+    # Sort the incoming entries (they are region-mapped, order arbitrary).
+    order = np.argsort(t_idx, kind="stable")
+    t_idx, t_vals = t_idx[order], t_vals[order]
+    allowed_t = vector_mask_at(mask, desc, t_idx)
+    t_idx, t_vals = t_idx[allowed_t], t_vals[allowed_t]
+
+    c_in_region = np.isin(c.indices, region, assume_unique=True)
+    c_masked = vector_mask_at(mask, desc, c.indices)
+    if accum is None:
+        # Region ∧ mask-true positions are fully rewritten by T.
+        drop = c_in_region & c_masked
+    else:
+        # Accumulate: existing entries survive; T merges in.
+        both = np.isin(c.indices, t_idx, assume_unique=True)
+        drop = np.zeros(c.nvals, dtype=bool)
+        if both.any():
+            sel = np.searchsorted(t_idx, c.indices[both])
+            merged = np.asarray(accum(c.values[both], t_vals[sel])).astype(out_dtype)
+            t_vals = t_vals.copy()
+            t_vals[sel] = merged
+            drop = both  # replaced by merged T entries
+    if desc.replace:
+        drop = drop | (c_in_region & ~c_masked)
+    keep_idx = c.indices[~drop]
+    keep_vals = c.values[~drop]
+    merged_idx = np.concatenate([keep_idx, t_idx])
+    merged_vals = np.concatenate([keep_vals, t_vals])
+    order = np.argsort(merged_idx, kind="stable")
+    return SparseVector(c.size, merged_idx[order], merged_vals[order], c.type)
+
+
+def _merge_region_matrix(
+    c: CSRMatrix,
+    t_rows: np.ndarray,
+    t_cols: np.ndarray,
+    t_vals: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    mask,
+    accum: Optional[BinaryOp],
+    desc: Descriptor,
+) -> CSRMatrix:
+    """Matrix analogue of :func:`_merge_region_vector` via flat keys."""
+    out_dtype = c.type.dtype
+    t_keys = flat_keys(t_rows, t_cols, c.ncols)
+    t_vals = np.asarray(t_vals).astype(out_dtype, copy=False)
+    order = np.argsort(t_keys, kind="stable")
+    t_keys, t_vals = t_keys[order], t_vals[order]
+    allowed_t = matrix_mask_at(mask, desc, t_keys)
+    t_keys, t_vals = t_keys[allowed_t], t_vals[allowed_t]
+
+    c_rows = np.repeat(np.arange(c.nrows, dtype=np.int64), c.row_degrees())
+    c_keys = flat_keys(c_rows, c.indices, c.ncols)
+    in_region = np.isin(c_rows, rows, assume_unique=False) & np.isin(
+        c.indices, cols, assume_unique=False
+    )
+    c_masked = matrix_mask_at(mask, desc, c_keys)
+    if accum is None:
+        drop = in_region & c_masked
+    else:
+        both = np.isin(c_keys, t_keys, assume_unique=True)
+        drop = np.zeros(c.nvals, dtype=bool)
+        if both.any():
+            sel = np.searchsorted(t_keys, c_keys[both])
+            merged = np.asarray(accum(c.values[both], t_vals[sel])).astype(out_dtype)
+            t_vals = t_vals.copy()
+            t_vals[sel] = merged
+            drop = both
+    if desc.replace:
+        drop = drop | (in_region & ~c_masked)
+    keys = np.concatenate([c_keys[~drop], t_keys])
+    vals = np.concatenate([c.values[~drop], t_vals])
+    order = np.argsort(keys, kind="stable")
+    keys, vals = keys[order], vals[order]
+    out_rows = keys // c.ncols
+    out_cols = keys - out_rows * c.ncols
+    indptr = np.zeros(c.nrows + 1, dtype=np.int64)
+    if out_rows.size:
+        np.add.at(indptr, out_rows + 1, 1)
+    np.cumsum(indptr, out=indptr)
+    return CSRMatrix(c.nrows, c.ncols, indptr, out_cols, vals, c.type)
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+
+def assign(
+    out,
+    src,
+    indices=None,
+    cols=None,
+    mask=None,
+    accum: Optional[BinaryOp] = None,
+    desc: Descriptor = DEFAULT,
+):
+    """``out(indices[, cols])<mask> accum= src`` — region assignment.
+
+    Vector form: ``assign(w, u, I)`` with ``len(I) == u.size``.
+    Matrix form: ``assign(C, A, I, J)`` with ``(len(I), len(J)) == A.shape``.
+    """
+    if isinstance(out, Vector):
+        idx = _index_array(indices, out.size, "target")
+        if idx.size != src.size:
+            raise DimensionMismatchError(
+                "assign source size", expected=idx.size, actual=src.size
+            )
+        sc = src.container
+        current_backend().charge_assign(sc.nvals, out)
+        return out._replace(
+            _merge_region_vector(
+                out.container,
+                idx[sc.indices],
+                sc.values,
+                np.sort(idx),
+                mask.container if mask is not None else None,
+                accum,
+                desc,
+            )
+        )
+    r = _index_array(indices, out.nrows, "row")
+    s = _index_array(cols, out.ncols, "column")
+    if (r.size, s.size) != src.shape:
+        raise DimensionMismatchError(
+            "assign source shape", expected=(r.size, s.size), actual=src.shape
+        )
+    sc = src.container
+    current_backend().charge_assign(sc.nvals, out)
+    src_rows = np.repeat(np.arange(sc.nrows, dtype=np.int64), sc.row_degrees())
+    return out._replace(
+        _merge_region_matrix(
+            out.container,
+            r[src_rows],
+            s[sc.indices],
+            sc.values,
+            np.sort(r),
+            np.sort(s),
+            mask.container if mask is not None else None,
+            accum,
+            desc,
+        )
+    )
+
+
+def assign_scalar(
+    out,
+    value: Any,
+    indices=None,
+    cols=None,
+    mask=None,
+    accum: Optional[BinaryOp] = None,
+    desc: Descriptor = DEFAULT,
+):
+    """``out(indices[, cols])<mask> accum= value`` — constant fill.
+
+    Unlike matrix/vector assign, every region position receives an entry.
+    """
+    if isinstance(out, Vector):
+        idx = _index_array(indices, out.size, "target")
+        vals = np.full(idx.size, out.type.cast(value), dtype=out.type.dtype)
+        current_backend().charge_assign(idx.size, out)
+        return out._replace(
+            _merge_region_vector(
+                out.container,
+                idx.copy(),
+                vals,
+                np.sort(idx),
+                mask.container if mask is not None else None,
+                accum,
+                desc,
+            )
+        )
+    r = _index_array(indices, out.nrows, "row")
+    s = _index_array(cols, out.ncols, "column")
+    rr = np.repeat(r, s.size)
+    cc = np.tile(s, r.size)
+    vals = np.full(rr.size, out.type.cast(value), dtype=out.type.dtype)
+    current_backend().charge_assign(rr.size, out)
+    return out._replace(
+        _merge_region_matrix(
+            out.container,
+            rr,
+            cc,
+            vals,
+            np.sort(r),
+            np.sort(s),
+            mask.container if mask is not None else None,
+            accum,
+            desc,
+        )
+    )
+
+
+def assign_row(
+    c: Matrix,
+    u: Vector,
+    i: int,
+    cols=None,
+    mask: Optional[Vector] = None,
+    accum: Optional[BinaryOp] = None,
+    desc: Descriptor = DEFAULT,
+) -> Matrix:
+    """``C(i, cols)<mask> accum= u`` (GrB_Row_assign).
+
+    The mask, when given, is a vector over the row's columns; it is lifted
+    to a one-row matrix mask internally.
+    """
+    mat_mask = _lift_row_mask(mask, c, i)
+    s = _index_array(cols, c.ncols, "column")
+    if s.size != u.size:
+        raise DimensionMismatchError("row assign size", expected=s.size, actual=u.size)
+    uc = u.container
+    current_backend().charge_assign(uc.nvals, c)
+    return c._replace(
+        _merge_region_matrix(
+            c.container,
+            np.full(uc.nvals, i, dtype=np.int64),
+            s[uc.indices],
+            uc.values,
+            np.array([i], dtype=np.int64),
+            np.sort(s),
+            mat_mask,
+            accum,
+            desc,
+        )
+    )
+
+
+def assign_col(
+    c: Matrix,
+    u: Vector,
+    j: int,
+    rows=None,
+    mask: Optional[Vector] = None,
+    accum: Optional[BinaryOp] = None,
+    desc: Descriptor = DEFAULT,
+) -> Matrix:
+    """``C(rows, j)<mask> accum= u`` (GrB_Col_assign)."""
+    mat_mask = _lift_col_mask(mask, c, j)
+    r = _index_array(rows, c.nrows, "row")
+    if r.size != u.size:
+        raise DimensionMismatchError("col assign size", expected=r.size, actual=u.size)
+    uc = u.container
+    current_backend().charge_assign(uc.nvals, c)
+    return c._replace(
+        _merge_region_matrix(
+            c.container,
+            r[uc.indices],
+            np.full(uc.nvals, j, dtype=np.int64),
+            uc.values,
+            np.sort(r),
+            np.array([j], dtype=np.int64),
+            mat_mask,
+            accum,
+            desc,
+        )
+    )
+
+
+def _lift_row_mask(mask: Optional[Vector], c: Matrix, i: int) -> Optional[CSRMatrix]:
+    """Vector mask over columns -> C-shaped one-row matrix mask."""
+    if mask is None:
+        return None
+    mc = mask.container
+    indptr = np.zeros(c.nrows + 1, dtype=np.int64)
+    indptr[i + 1 :] = mc.nvals
+    return CSRMatrix(c.nrows, c.ncols, indptr, mc.indices.copy(), mc.values.copy(), mc.type)
+
+
+def _lift_col_mask(mask: Optional[Vector], c: Matrix, j: int) -> Optional[CSRMatrix]:
+    """Vector mask over rows -> C-shaped one-column matrix mask."""
+    if mask is None:
+        return None
+    mc = mask.container
+    indptr = np.zeros(c.nrows + 1, dtype=np.int64)
+    indptr[mc.indices + 1] = 1
+    np.cumsum(indptr, out=indptr)
+    cols = np.full(mc.nvals, j, dtype=np.int64)
+    return CSRMatrix(c.nrows, c.ncols, indptr, cols, mc.values.copy(), mc.type)

@@ -1,0 +1,74 @@
+"""GraphBLAS descriptors.
+
+A descriptor modifies how an operation treats its arguments:
+
+- ``transpose_a`` / ``transpose_b`` — operate on the transpose of an input
+  (``GrB_INP0``/``GrB_INP1`` = ``GrB_TRAN``);
+- ``complement_mask`` — use the complement of the mask (``GrB_COMP``);
+- ``structural_mask`` — a mask entry counts if *present*, regardless of its
+  value (``GrB_STRUCTURE``);
+- ``replace`` — clear the output before writing the masked result
+  (``GrB_REPLACE``).
+
+Descriptors are immutable; convenience constants cover the common cases and
+``Descriptor.with_()`` derives variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as _dc_replace
+
+__all__ = [
+    "Descriptor",
+    "DEFAULT",
+    "REPLACE",
+    "TRANSPOSE_A",
+    "TRANSPOSE_B",
+    "TRANSPOSE_AB",
+    "COMP_MASK",
+    "STRUCTURE_MASK",
+    "COMP_STRUCTURE_MASK",
+    "REPLACE_COMP_MASK",
+    "REPLACE_STRUCTURE_MASK",
+]
+
+
+@dataclass(frozen=True)
+class Descriptor:
+    """Immutable bundle of operation-modifier flags."""
+
+    transpose_a: bool = False
+    transpose_b: bool = False
+    complement_mask: bool = False
+    structural_mask: bool = False
+    replace: bool = False
+
+    def with_(self, **kwargs) -> "Descriptor":
+        """Return a copy with the given flags overridden."""
+        return _dc_replace(self, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        flags = [
+            name
+            for name, val in (
+                ("tranA", self.transpose_a),
+                ("tranB", self.transpose_b),
+                ("comp", self.complement_mask),
+                ("structure", self.structural_mask),
+                ("replace", self.replace),
+            )
+            if val
+        ]
+        return f"Descriptor({'|'.join(flags) or 'default'})"
+
+
+DEFAULT = Descriptor()
+REPLACE = Descriptor(replace=True)
+TRANSPOSE_A = Descriptor(transpose_a=True)
+TRANSPOSE_B = Descriptor(transpose_b=True)
+TRANSPOSE_AB = Descriptor(transpose_a=True, transpose_b=True)
+COMP_MASK = Descriptor(complement_mask=True)
+STRUCTURE_MASK = Descriptor(structural_mask=True)
+COMP_STRUCTURE_MASK = Descriptor(complement_mask=True, structural_mask=True)
+REPLACE_COMP_MASK = Descriptor(replace=True, complement_mask=True)
+REPLACE_STRUCTURE_MASK = Descriptor(replace=True, structural_mask=True)

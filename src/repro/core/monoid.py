@@ -1,0 +1,160 @@
+"""GraphBLAS monoids: an associative binary operator plus its identity.
+
+A monoid is what ``reduce`` and the additive half of a semiring require.  The
+identity may depend on the domain (e.g. the identity of MIN over INT32 is
+``INT32_MAX`` but over FP64 is ``+inf``), so identities here are functions of
+the :class:`~repro.types.GrBType`.
+
+A *terminal* (annihilator) value, when present, lets backends short-circuit
+reductions (e.g. LOR can stop at the first True) — the same early-exit trick
+GBTL-CUDA's BFS relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+from ..types import BOOL, GrBType
+from .operators import BinaryOp, LAND, LOR, LXNOR, LXOR, MAX, MIN, PLUS, TIMES, ANY
+
+__all__ = [
+    "Monoid",
+    "make_monoid",
+    "PLUS_MONOID",
+    "TIMES_MONOID",
+    "MIN_MONOID",
+    "MAX_MONOID",
+    "LOR_MONOID",
+    "LAND_MONOID",
+    "LXOR_MONOID",
+    "LXNOR_MONOID",
+    "ANY_MONOID",
+    "MONOIDS",
+]
+
+
+def _min_identity(t: GrBType) -> Any:
+    """Identity of MIN: the largest representable value of the domain."""
+    if t.is_floating:
+        return t.cast(np.inf)
+    if t.is_boolean:
+        return t.cast(True)
+    return t.cast(np.iinfo(t.dtype).max)
+
+
+def _max_identity(t: GrBType) -> Any:
+    """Identity of MAX: the smallest representable value of the domain."""
+    if t.is_floating:
+        return t.cast(-np.inf)
+    if t.is_boolean:
+        return t.cast(False)
+    return t.cast(np.iinfo(t.dtype).min)
+
+
+@dataclass(frozen=True)
+class Monoid:
+    """An associative, commutative binary operator with identity.
+
+    Attributes
+    ----------
+    op:
+        The underlying :class:`BinaryOp` (must be associative).
+    identity_fn:
+        Maps a domain to the identity element in that domain.
+    terminal_fn:
+        Optional: maps a domain to an annihilator value ``a`` with
+        ``op(a, x) == a`` for all ``x``, enabling early exit.
+    """
+
+    name: str
+    op: BinaryOp = field(compare=False)
+    identity_fn: Callable[[GrBType], Any] = field(compare=False)
+    terminal_fn: Optional[Callable[[GrBType], Any]] = field(
+        default=None, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if not self.op.associative:
+            raise ValueError(
+                f"monoid {self.name!r} requires an associative operator, "
+                f"got {self.op.name}"
+            )
+
+    def identity(self, t: GrBType) -> Any:
+        return self.identity_fn(t)
+
+    def terminal(self, t: GrBType) -> Optional[Any]:
+        return None if self.terminal_fn is None else self.terminal_fn(t)
+
+    def __call__(self, x: Any, y: Any) -> Any:
+        return self.op(x, y)
+
+    def result_type(self, t: GrBType) -> GrBType:
+        # A monoid maps DxD->D; for logical monoids the domain is BOOL.
+        return self.op.result_type(t)
+
+    def reduce_array(self, values: np.ndarray, t: GrBType) -> Any:
+        """Reduce a 1-D NumPy array of stored values to a scalar.
+
+        Empty input reduces to the identity (per spec, for typed reduce with
+        no accumulator the result of reducing no entries is the identity).
+        """
+        if values.size == 0:
+            return self.identity(t)
+        reducer = _NP_REDUCERS.get(self.op.name)
+        if reducer is not None:
+            return t.cast(reducer(values))
+        acc = values[0]
+        for v in values[1:]:
+            acc = self.op(acc, v)
+        return acc
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Monoid({self.name})"
+
+
+_NP_REDUCERS: Dict[str, Callable[[np.ndarray], Any]] = {
+    "PLUS": np.sum,
+    "TIMES": np.prod,
+    "MIN": np.min,
+    "MAX": np.max,
+    "LOR": np.any,
+    "LAND": np.all,
+    "LXOR": lambda v: bool(np.count_nonzero(v) % 2),
+    "LXNOR": lambda v: not bool(np.count_nonzero(np.logical_not(v)) % 2),
+    "ANY": lambda v: v[0],
+}
+
+MONOIDS: Dict[str, Monoid] = {}
+
+
+def make_monoid(name, op, identity_fn, terminal_fn=None) -> Monoid:
+    """Create and register a :class:`Monoid`."""
+    m = Monoid(name, op, identity_fn, terminal_fn)
+    MONOIDS[name] = m
+    return m
+
+
+PLUS_MONOID = make_monoid("PLUS_MONOID", PLUS, lambda t: t.cast(0))
+TIMES_MONOID = make_monoid(
+    "TIMES_MONOID", TIMES, lambda t: t.cast(1), terminal_fn=lambda t: t.cast(0)
+)
+MIN_MONOID = make_monoid("MIN_MONOID", MIN, _min_identity, terminal_fn=_max_identity)
+MAX_MONOID = make_monoid("MAX_MONOID", MAX, _max_identity, terminal_fn=_min_identity)
+LOR_MONOID = make_monoid(
+    "LOR_MONOID", LOR, lambda t: BOOL.cast(False), terminal_fn=lambda t: BOOL.cast(True)
+)
+LAND_MONOID = make_monoid(
+    "LAND_MONOID", LAND, lambda t: BOOL.cast(True), terminal_fn=lambda t: BOOL.cast(False)
+)
+LXOR_MONOID = make_monoid("LXOR_MONOID", LXOR, lambda t: BOOL.cast(False))
+LXNOR_MONOID = make_monoid("LXNOR_MONOID", LXNOR, lambda t: BOOL.cast(True))
+# ANY has no true identity; the spec's GxB_ANY monoid treats any stored value
+# as terminal.  We use the domain zero as a formal identity (it is never
+# observed because reduce of the empty set is handled explicitly).
+ANY_MONOID = make_monoid(
+    "ANY_MONOID", ANY, lambda t: t.cast(0), terminal_fn=lambda t: None
+)

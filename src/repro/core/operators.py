@@ -1,0 +1,271 @@
+"""GraphBLAS operators: unary, binary, and index-unary.
+
+Operators are thin named wrappers around NumPy ufunc-style callables.  The
+same callable serves every backend: the reference backend applies it to
+scalars, the CPU backend applies it to whole NumPy arrays, and the simulated
+GPU backend applies it inside vectorized "device kernels".  This mirrors how
+GBTL passes the same functor template argument to every backend.
+
+Standard operators follow the GraphBLAS C API naming (``PLUS``, ``TIMES``,
+``MIN``, ``FIRST``, ``SECOND``, ``LAND``...).  All are registered in module
+level registries so they can be looked up by name (useful for benchmark
+drivers and serialization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+from ..types import BOOL, GrBType
+
+__all__ = [
+    "UnaryOp",
+    "BinaryOp",
+    "IndexUnaryOp",
+    "unary_op",
+    "binary_op",
+    "index_unary_op",
+    # unary
+    "IDENTITY",
+    "AINV",
+    "MINV",
+    "LNOT",
+    "ABS",
+    "BNOT",
+    "SQRT",
+    "EXP",
+    "LOG",
+    "ONE",
+    # binary
+    "PLUS",
+    "MINUS",
+    "RMINUS",
+    "TIMES",
+    "DIV",
+    "RDIV",
+    "MIN",
+    "MAX",
+    "FIRST",
+    "SECOND",
+    "ANY",
+    "PAIR",
+    "LAND",
+    "LOR",
+    "LXOR",
+    "LXNOR",
+    "EQ",
+    "NE",
+    "GT",
+    "LT",
+    "GE",
+    "LE",
+    "POW",
+    "HYPOT",
+    # index unary
+    "ROWINDEX",
+    "COLINDEX",
+    "DIAGINDEX",
+    "TRIL",
+    "TRIU",
+    "DIAG",
+    "OFFDIAG",
+    "VALUEEQ",
+    "VALUENE",
+    "VALUEGT",
+    "VALUELT",
+    "VALUEGE",
+    "VALUELE",
+]
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    """A function of one stored value: ``z = f(x)``.
+
+    ``func`` must accept scalars and NumPy arrays alike.  ``out_type`` maps an
+    input domain to an output domain; ``None`` means "same as input".
+    """
+
+    name: str
+    func: Callable[[Any], Any] = field(compare=False)
+    out_type: Optional[Callable[[GrBType], GrBType]] = field(
+        default=None, compare=False
+    )
+
+    def __call__(self, x: Any) -> Any:
+        return self.func(x)
+
+    def result_type(self, t: GrBType) -> GrBType:
+        return self.out_type(t) if self.out_type is not None else t
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"UnaryOp({self.name})"
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """A function of two stored values: ``z = f(x, y)``.
+
+    Attributes
+    ----------
+    bool_out:
+        True for comparison-style operators whose output domain is BOOL
+        regardless of input domains.
+    commutative / associative:
+        Algebraic flags; associativity is what a Monoid additionally needs,
+        commutativity lets backends reorder reductions.
+    """
+
+    name: str
+    func: Callable[[Any, Any], Any] = field(compare=False)
+    bool_out: bool = field(default=False, compare=False)
+    commutative: bool = field(default=False, compare=False)
+    associative: bool = field(default=False, compare=False)
+
+    def __call__(self, x: Any, y: Any) -> Any:
+        return self.func(x, y)
+
+    def result_type(self, t: GrBType) -> GrBType:
+        """Output domain given the (already promoted) input domain."""
+        return BOOL if self.bool_out else t
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"BinaryOp({self.name})"
+
+
+@dataclass(frozen=True)
+class IndexUnaryOp:
+    """A function of a stored value and its position: ``z = f(x, i, j, s)``.
+
+    Used by ``select`` and ``apply``-with-index (GxB-style).  ``func`` is
+    vectorized over ``x``, ``i``, ``j`` (NumPy arrays) with scalar ``s``
+    (the "thunk").  For vectors, ``j`` is passed as zeros.
+    """
+
+    name: str
+    func: Callable[[Any, Any, Any, Any], Any] = field(compare=False)
+    bool_out: bool = field(default=True, compare=False)
+
+    def __call__(self, x: Any, i: Any, j: Any, s: Any) -> Any:
+        return self.func(x, i, j, s)
+
+    def result_type(self, t: GrBType) -> GrBType:
+        return BOOL if self.bool_out else t
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"IndexUnaryOp({self.name})"
+
+
+UNARY_OPS: Dict[str, UnaryOp] = {}
+BINARY_OPS: Dict[str, BinaryOp] = {}
+INDEX_UNARY_OPS: Dict[str, IndexUnaryOp] = {}
+
+
+def unary_op(name: str, func: Callable, out_type=None) -> UnaryOp:
+    """Create and register a :class:`UnaryOp`."""
+    op = UnaryOp(name, func, out_type)
+    UNARY_OPS[name] = op
+    return op
+
+
+def binary_op(
+    name: str,
+    func: Callable,
+    *,
+    bool_out: bool = False,
+    commutative: bool = False,
+    associative: bool = False,
+) -> BinaryOp:
+    """Create and register a :class:`BinaryOp`."""
+    op = BinaryOp(name, func, bool_out, commutative, associative)
+    BINARY_OPS[name] = op
+    return op
+
+
+def index_unary_op(name: str, func: Callable, *, bool_out: bool = True) -> IndexUnaryOp:
+    """Create and register an :class:`IndexUnaryOp`."""
+    op = IndexUnaryOp(name, func, bool_out)
+    INDEX_UNARY_OPS[name] = op
+    return op
+
+
+# --------------------------------------------------------------------------
+# Standard unary operators
+# --------------------------------------------------------------------------
+
+IDENTITY = unary_op("IDENTITY", lambda x: x)
+AINV = unary_op("AINV", np.negative)
+MINV = unary_op("MINV", lambda x: 1 / np.asarray(x) if np.ndim(x) else 1 / x)
+LNOT = unary_op("LNOT", np.logical_not, out_type=lambda t: BOOL)
+ABS = unary_op("ABS", np.abs)
+BNOT = unary_op("BNOT", np.invert)
+SQRT = unary_op("SQRT", np.sqrt)
+EXP = unary_op("EXP", np.exp)
+LOG = unary_op("LOG", np.log)
+ONE = unary_op("ONE", lambda x: np.ones_like(np.asarray(x)) if np.ndim(x) else type(x)(1))
+
+
+# --------------------------------------------------------------------------
+# Standard binary operators
+# --------------------------------------------------------------------------
+
+PLUS = binary_op("PLUS", np.add, commutative=True, associative=True)
+MINUS = binary_op("MINUS", np.subtract)
+RMINUS = binary_op("RMINUS", lambda x, y: np.subtract(y, x))
+TIMES = binary_op("TIMES", np.multiply, commutative=True, associative=True)
+DIV = binary_op("DIV", np.divide)
+RDIV = binary_op("RDIV", lambda x, y: np.divide(y, x))
+MIN = binary_op("MIN", np.minimum, commutative=True, associative=True)
+MAX = binary_op("MAX", np.maximum, commutative=True, associative=True)
+FIRST = binary_op("FIRST", lambda x, y: x, associative=True)
+SECOND = binary_op("SECOND", lambda x, y: y, associative=True)
+# ANY: "pick either"; we deterministically pick the first operand so results
+# are reproducible across backends (the spec allows any choice).
+ANY = binary_op("ANY", lambda x, y: x, commutative=True, associative=True)
+PAIR = binary_op(
+    "PAIR", lambda x, y: np.ones_like(np.asarray(x)) if np.ndim(x) else type(x)(1),
+    commutative=True, associative=True,
+)
+LAND = binary_op("LAND", np.logical_and, bool_out=True, commutative=True, associative=True)
+LOR = binary_op("LOR", np.logical_or, bool_out=True, commutative=True, associative=True)
+LXOR = binary_op("LXOR", np.logical_xor, bool_out=True, commutative=True, associative=True)
+LXNOR = binary_op(
+    "LXNOR", lambda x, y: np.logical_not(np.logical_xor(x, y)),
+    bool_out=True, commutative=True, associative=True,
+)
+EQ = binary_op("EQ", np.equal, bool_out=True, commutative=True)
+NE = binary_op("NE", np.not_equal, bool_out=True, commutative=True)
+GT = binary_op("GT", np.greater, bool_out=True)
+LT = binary_op("LT", np.less, bool_out=True)
+GE = binary_op("GE", np.greater_equal, bool_out=True)
+LE = binary_op("LE", np.less_equal, bool_out=True)
+POW = binary_op("POW", np.power)
+HYPOT = binary_op("HYPOT", np.hypot, commutative=True)
+
+
+# --------------------------------------------------------------------------
+# Standard index-unary operators (GrB_IndexUnaryOp)
+# --------------------------------------------------------------------------
+
+ROWINDEX = index_unary_op(
+    "ROWINDEX", lambda x, i, j, s: np.asarray(i) + s, bool_out=False
+)
+COLINDEX = index_unary_op(
+    "COLINDEX", lambda x, i, j, s: np.asarray(j) + s, bool_out=False
+)
+DIAGINDEX = index_unary_op(
+    "DIAGINDEX", lambda x, i, j, s: np.asarray(j) - np.asarray(i) + s, bool_out=False
+)
+TRIL = index_unary_op("TRIL", lambda x, i, j, s: np.asarray(j) <= np.asarray(i) + s)
+TRIU = index_unary_op("TRIU", lambda x, i, j, s: np.asarray(j) >= np.asarray(i) + s)
+DIAG = index_unary_op("DIAG", lambda x, i, j, s: np.asarray(j) == np.asarray(i) + s)
+OFFDIAG = index_unary_op("OFFDIAG", lambda x, i, j, s: np.asarray(j) != np.asarray(i) + s)
+VALUEEQ = index_unary_op("VALUEEQ", lambda x, i, j, s: np.equal(x, s))
+VALUENE = index_unary_op("VALUENE", lambda x, i, j, s: np.not_equal(x, s))
+VALUEGT = index_unary_op("VALUEGT", lambda x, i, j, s: np.greater(x, s))
+VALUELT = index_unary_op("VALUELT", lambda x, i, j, s: np.less(x, s))
+VALUEGE = index_unary_op("VALUEGE", lambda x, i, j, s: np.greater_equal(x, s))
+VALUELE = index_unary_op("VALUELE", lambda x, i, j, s: np.less_equal(x, s))

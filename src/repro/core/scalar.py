@@ -1,0 +1,79 @@
+"""GraphBLAS scalar wrapper.
+
+A :class:`Scalar` is a typed box that may be empty (``GrB_Scalar``).  It
+exists so reductions-with-accumulate have a mutable, typed target and so the
+API mirrors the spec; plain Python numbers are accepted anywhere a scalar
+value is expected.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..exceptions import EmptyObjectError
+from ..types import GrBType, from_value
+
+__all__ = ["Scalar"]
+
+
+class Scalar:
+    """A typed, possibly-empty scalar container."""
+
+    __slots__ = ("type", "_value", "_present")
+
+    def __init__(self, typ: GrBType, value: Optional[Any] = None):
+        self.type = typ
+        self._present = value is not None
+        self._value = typ.cast(value) if value is not None else None
+
+    @classmethod
+    def from_value(cls, value: Any) -> "Scalar":
+        """Infer the domain from a Python value."""
+        return cls(from_value(value), value)
+
+    @property
+    def nvals(self) -> int:
+        return 1 if self._present else 0
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._present
+
+    def set(self, value: Any) -> "Scalar":
+        self._value = self.type.cast(value)
+        self._present = True
+        return self
+
+    def clear(self) -> "Scalar":
+        self._value = None
+        self._present = False
+        return self
+
+    def get(self, default: Optional[Any] = None) -> Any:
+        """The stored value, or ``default`` when empty."""
+        return self._value if self._present else default
+
+    @property
+    def value(self) -> Any:
+        """The stored value; raises :class:`EmptyObjectError` when empty."""
+        if not self._present:
+            raise EmptyObjectError("scalar holds no value")
+        return self._value
+
+    def __bool__(self) -> bool:
+        return self._present and bool(self._value)
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, Scalar):
+            return (
+                self._present == other._present
+                and (not self._present or self._value == other._value)
+            )
+        return self._present and self._value == other
+
+    def __hash__(self):  # pragma: no cover - rarely used
+        return hash((self.type.name, self._value if self._present else None))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        body = repr(self._value) if self._present else "empty"
+        return f"Scalar({self.type.name}, {body})"

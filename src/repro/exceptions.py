@@ -1,0 +1,114 @@
+"""GraphBLAS error hierarchy.
+
+The GraphBLAS C API specification defines a fixed set of error conditions
+(``GrB_DIMENSION_MISMATCH``, ``GrB_INDEX_OUT_OF_BOUNDS``, ...).  GBTL mirrors
+these as C++ exceptions; we mirror them as a Python exception hierarchy so
+that callers can catch either the broad :class:`GraphBLASError` or a precise
+subclass.
+
+API errors (bad arguments, detectable before any work happens) derive from
+:class:`ApiError`; execution errors (detected mid-operation) derive from
+:class:`ExecutionError`.  This matches the spec's split between "API errors"
+and "execution errors".
+"""
+
+from __future__ import annotations
+
+
+class GraphBLASError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ApiError(GraphBLASError):
+    """An argument error detectable before execution begins."""
+
+
+class ExecutionError(GraphBLASError):
+    """An error detected during execution of an operation."""
+
+
+class DimensionMismatchError(ApiError):
+    """Operand shapes are incompatible for the requested operation.
+
+    Mirrors ``GrB_DIMENSION_MISMATCH``.
+    """
+
+    def __init__(self, message: str = "", *, expected=None, actual=None):
+        if expected is not None or actual is not None:
+            detail = f" (expected {expected}, got {actual})"
+        else:
+            detail = ""
+        super().__init__((message or "dimension mismatch") + detail)
+        self.expected = expected
+        self.actual = actual
+
+
+class IndexOutOfBoundsError(ApiError, IndexError):
+    """An index exceeds the dimension of the object it indexes.
+
+    Mirrors ``GrB_INDEX_OUT_OF_BOUNDS``.  Also an :class:`IndexError` so
+    Pythonic callers that catch ``IndexError`` keep working.
+    """
+
+
+class DomainMismatchError(ApiError, TypeError):
+    """Operand domains (types) are incompatible with the operator.
+
+    Mirrors ``GrB_DOMAIN_MISMATCH``.
+    """
+
+
+class EmptyObjectError(ApiError):
+    """An operation requires a stored value that is not present.
+
+    Mirrors ``GrB_EMPTY_OBJECT`` / extracting an element at an empty
+    position (``GrB_NO_VALUE`` treated as an error when a value is demanded).
+    """
+
+
+class InvalidValueError(ApiError, ValueError):
+    """A scalar argument has an invalid value (e.g. negative dimension).
+
+    Mirrors ``GrB_INVALID_VALUE``.
+    """
+
+
+class InvalidObjectError(ExecutionError):
+    """An object is internally corrupt or was not properly initialised.
+
+    Mirrors ``GrB_INVALID_OBJECT``.
+    """
+
+
+class OutputNotEmptyError(ApiError):
+    """``build`` was called on a container that already holds entries.
+
+    Mirrors ``GrB_OUTPUT_NOT_EMPTY``.
+    """
+
+
+class NotImplementedInBackendError(GraphBLASError, NotImplementedError):
+    """The selected backend does not implement the requested kernel."""
+
+
+class BackendError(ExecutionError):
+    """A backend failed internally while executing a kernel."""
+
+
+class DeviceError(ExecutionError):
+    """The simulated GPU device reported an error (OOM, bad launch, ...)."""
+
+
+class DeviceOutOfMemoryError(DeviceError):
+    """The simulated device memory pool is exhausted."""
+
+    def __init__(self, requested: int, free: int):
+        super().__init__(
+            f"device out of memory: requested {requested} bytes, {free} free"
+        )
+        self.requested = requested
+        self.free = free
+
+
+class InvalidLaunchError(DeviceError, ValueError):
+    """A kernel launch configuration is invalid (grid/block out of range)."""

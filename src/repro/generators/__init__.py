@@ -1,0 +1,33 @@
+"""Synthetic graph generators (the paper-era benchmark workloads)."""
+
+from .blockmodel import stochastic_block_model
+from .common import finalize_edges
+from .preferential import barabasi_albert
+from .random import erdos_renyi_gnm, erdos_renyi_gnp
+from .regular import (
+    complete_graph,
+    cycle_graph,
+    grid_2d,
+    path_graph,
+    star_graph,
+    torus_2d,
+)
+from .rmat import rmat, rmat_edges
+from .smallworld import watts_strogatz
+
+__all__ = [
+    "finalize_edges",
+    "stochastic_block_model",
+    "barabasi_albert",
+    "erdos_renyi_gnm",
+    "erdos_renyi_gnp",
+    "complete_graph",
+    "cycle_graph",
+    "grid_2d",
+    "path_graph",
+    "star_graph",
+    "torus_2d",
+    "rmat",
+    "rmat_edges",
+    "watts_strogatz",
+]

@@ -1,0 +1,51 @@
+"""Barabási–Albert preferential-attachment graphs."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.matrix import Matrix
+from ..exceptions import InvalidValueError
+from ..types import FP64, GrBType
+from .common import finalize_edges
+
+__all__ = ["barabasi_albert"]
+
+
+def barabasi_albert(
+    n: int,
+    m: int,
+    seed: Optional[int] = None,
+    weighted: bool = False,
+    typ: GrBType = FP64,
+) -> Matrix:
+    """Each arriving vertex attaches to ``m`` existing vertices, preferring
+    high degree (implemented with the standard repeated-endpoints urn).
+    """
+    if m < 1 or n <= m:
+        raise InvalidValueError(f"need 1 <= m < n, got m={m}, n={n}")
+    rng = np.random.default_rng(seed)
+    # The urn holds every edge endpoint seen so far; sampling uniformly from
+    # it is sampling proportionally to degree.
+    urn = list(range(m))  # seed clique-ish core: first m vertices
+    src, dst = [], []
+    for v in range(m, n):
+        targets = set()
+        while len(targets) < m:
+            pick = urn[rng.integers(0, len(urn))] if urn else int(rng.integers(0, v))
+            targets.add(int(pick))
+        for t in targets:
+            src.append(v)
+            dst.append(t)
+            urn.append(v)
+            urn.append(t)
+    return finalize_edges(
+        n,
+        np.asarray(src, dtype=np.int64),
+        np.asarray(dst, dtype=np.int64),
+        weighted=weighted,
+        typ=typ,
+        seed=seed,
+    )

@@ -1,0 +1,61 @@
+"""Erdős–Rényi random graphs: G(n, p) and G(n, m)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.matrix import Matrix
+from ..exceptions import InvalidValueError
+from ..types import FP64, GrBType
+from .common import finalize_edges
+
+__all__ = ["erdos_renyi_gnp", "erdos_renyi_gnm"]
+
+
+def erdos_renyi_gnp(
+    n: int,
+    p: float,
+    seed: Optional[int] = None,
+    weighted: bool = False,
+    directed: bool = False,
+    typ: GrBType = FP64,
+) -> Matrix:
+    """G(n, p): each ordered pair (i≠j) is an edge with probability ``p``.
+
+    Sampled by drawing a Binomial edge count and then endpoints uniformly —
+    exact in distribution up to duplicate collisions, which are collapsed
+    (standard practice for sparse p, and O(m) instead of O(n²)).
+    """
+    if not 0.0 <= p <= 1.0:
+        raise InvalidValueError(f"p must be in [0, 1], got {p}")
+    if n < 0:
+        raise InvalidValueError(f"negative n {n}")
+    rng = np.random.default_rng(seed)
+    n_pairs = n * (n - 1) if directed else n * (n - 1) // 2
+    m = rng.binomial(n_pairs, p) if n_pairs > 0 else 0
+    rows = rng.integers(0, max(n, 1), m, dtype=np.int64)
+    cols = rng.integers(0, max(n, 1), m, dtype=np.int64)
+    return finalize_edges(
+        n, rows, cols, weighted=weighted, directed=directed, typ=typ, seed=seed
+    )
+
+
+def erdos_renyi_gnm(
+    n: int,
+    m: int,
+    seed: Optional[int] = None,
+    weighted: bool = False,
+    directed: bool = False,
+    typ: GrBType = FP64,
+) -> Matrix:
+    """G(n, m): ``m`` edge slots drawn uniformly (duplicates collapsed)."""
+    if n < 0 or m < 0:
+        raise InvalidValueError(f"negative n or m ({n}, {m})")
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, max(n, 1), m, dtype=np.int64)
+    cols = rng.integers(0, max(n, 1), m, dtype=np.int64)
+    return finalize_edges(
+        n, rows, cols, weighted=weighted, directed=directed, typ=typ, seed=seed
+    )

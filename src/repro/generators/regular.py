@@ -1,0 +1,87 @@
+"""Regular-structure graphs: paths, cycles, grids, tori, complete, star.
+
+Road-network-like regular topologies are the counterpoint workload to
+R-MAT: low, uniform degree and large diameter, which flips the push/pull
+BFS trade-off and minimises warp divergence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.matrix import Matrix
+from ..exceptions import InvalidValueError
+from ..types import FP64, GrBType
+from .common import finalize_edges
+
+__all__ = ["path_graph", "cycle_graph", "grid_2d", "torus_2d", "complete_graph", "star_graph"]
+
+
+def path_graph(n: int, weighted: bool = False, typ: GrBType = FP64, seed=None) -> Matrix:
+    """Undirected path 0–1–…–(n-1)."""
+    if n < 0:
+        raise InvalidValueError(f"negative n {n}")
+    idx = np.arange(max(n - 1, 0), dtype=np.int64)
+    return finalize_edges(n, idx, idx + 1, weighted=weighted, typ=typ, seed=seed)
+
+
+def cycle_graph(n: int, weighted: bool = False, typ: GrBType = FP64, seed=None) -> Matrix:
+    """Undirected cycle on n vertices (n >= 3 for a simple cycle)."""
+    if n < 0:
+        raise InvalidValueError(f"negative n {n}")
+    if n < 3:
+        return path_graph(n, weighted, typ, seed)
+    idx = np.arange(n, dtype=np.int64)
+    return finalize_edges(n, idx, (idx + 1) % n, weighted=weighted, typ=typ, seed=seed)
+
+
+def grid_2d(rows: int, cols: int, weighted: bool = False, typ: GrBType = FP64, seed=None) -> Matrix:
+    """Undirected rows×cols 4-neighbour grid (road-network proxy)."""
+    if rows < 0 or cols < 0:
+        raise InvalidValueError(f"negative grid dims ({rows}, {cols})")
+    n = rows * cols
+    r, c = np.meshgrid(
+        np.arange(rows, dtype=np.int64), np.arange(cols, dtype=np.int64), indexing="ij"
+    )
+    vid = (r * cols + c).ravel()
+    right = vid.reshape(rows, cols)[:, :-1].ravel()
+    down = vid.reshape(rows, cols)[:-1, :].ravel()
+    src = np.concatenate([right, down])
+    dst = np.concatenate([right + 1, down + cols])
+    return finalize_edges(n, src, dst, weighted=weighted, typ=typ, seed=seed)
+
+
+def torus_2d(rows: int, cols: int, weighted: bool = False, typ: GrBType = FP64, seed=None) -> Matrix:
+    """Grid with wraparound edges (uniform degree 4)."""
+    if rows < 0 or cols < 0:
+        raise InvalidValueError(f"negative torus dims ({rows}, {cols})")
+    n = rows * cols
+    r, c = np.meshgrid(
+        np.arange(rows, dtype=np.int64), np.arange(cols, dtype=np.int64), indexing="ij"
+    )
+    vid = (r * cols + c).ravel()
+    right = (r * cols + (c + 1) % cols).ravel()
+    down = (((r + 1) % rows) * cols + c).ravel()
+    src = np.concatenate([vid, vid])
+    dst = np.concatenate([right, down])
+    return finalize_edges(n, src, dst, weighted=weighted, typ=typ, seed=seed)
+
+
+def complete_graph(n: int, weighted: bool = False, typ: GrBType = FP64, seed=None) -> Matrix:
+    """K_n — every unordered pair connected."""
+    if n < 0:
+        raise InvalidValueError(f"negative n {n}")
+    i, j = np.triu_indices(n, k=1)
+    return finalize_edges(
+        n, i.astype(np.int64), j.astype(np.int64), weighted=weighted, typ=typ, seed=seed
+    )
+
+
+def star_graph(n: int, weighted: bool = False, typ: GrBType = FP64, seed=None) -> Matrix:
+    """Vertex 0 connected to 1..n-1 (extreme degree skew)."""
+    if n < 0:
+        raise InvalidValueError(f"negative n {n}")
+    leaves = np.arange(1, n, dtype=np.int64)
+    return finalize_edges(
+        n, np.zeros(leaves.size, dtype=np.int64), leaves, weighted=weighted, typ=typ, seed=seed
+    )

@@ -1,0 +1,47 @@
+"""Watts–Strogatz small-world graphs."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.matrix import Matrix
+from ..exceptions import InvalidValueError
+from ..types import FP64, GrBType
+from .common import finalize_edges
+
+__all__ = ["watts_strogatz"]
+
+
+def watts_strogatz(
+    n: int,
+    k: int,
+    p: float,
+    seed: Optional[int] = None,
+    weighted: bool = False,
+    typ: GrBType = FP64,
+) -> Matrix:
+    """Ring lattice (each vertex to its k nearest neighbours) with rewiring.
+
+    ``k`` must be even; each of the k/2 clockwise edges per vertex is
+    rewired to a uniformly random endpoint with probability ``p``.
+    """
+    if k % 2 != 0 or k < 0:
+        raise InvalidValueError(f"k must be even and nonnegative, got {k}")
+    if not 0.0 <= p <= 1.0:
+        raise InvalidValueError(f"p must be in [0, 1], got {p}")
+    if n <= k:
+        raise InvalidValueError(f"need n > k, got n={n}, k={k}")
+    rng = np.random.default_rng(seed)
+    base = np.arange(n, dtype=np.int64)
+    src_list, dst_list = [], []
+    for off in range(1, k // 2 + 1):
+        src_list.append(base)
+        dst_list.append((base + off) % n)
+    src = np.concatenate(src_list)
+    dst = np.concatenate(dst_list)
+    rewire = rng.random(src.size) < p
+    dst = dst.copy()
+    dst[rewire] = rng.integers(0, n, int(rewire.sum()), dtype=np.int64)
+    return finalize_edges(n, src, dst, weighted=weighted, typ=typ, seed=seed)

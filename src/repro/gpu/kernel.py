@@ -1,0 +1,124 @@
+"""Kernel abstraction and launch machinery for the simulated device.
+
+A :class:`Kernel` bundles a semantic function (NumPy code that computes the
+result on the host — the simulation's "device code") with a work estimator
+that inspects the actual arguments and reports a
+:class:`~repro.gpu.costmodel.KernelWork`.  :func:`launch` validates the
+launch configuration against the device limits, executes the semantics,
+charges the modeled time to the device clock, and records a profiler entry —
+the full life cycle of a ``kernel<<<grid, block>>>(...)`` call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from ..exceptions import InvalidLaunchError
+from .costmodel import KernelWork
+from .device import Device, get_device
+from .profiler import LaunchRecord
+
+__all__ = ["LaunchConfig", "Kernel", "launch", "charge_transfer"]
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """``<<<grid, block>>>`` pair."""
+
+    grid: int
+    block: int
+
+    def validate(self, device: Device) -> None:
+        p = device.props
+        if self.block < 1 or self.block > p.max_threads_per_block:
+            raise InvalidLaunchError(
+                f"block size {self.block} outside [1, {p.max_threads_per_block}]"
+            )
+        if self.grid < 1 or self.grid > p.max_blocks_per_grid:
+            raise InvalidLaunchError(
+                f"grid size {self.grid} outside [1, {p.max_blocks_per_grid}]"
+            )
+
+    @property
+    def threads(self) -> int:
+        return self.grid * self.block
+
+    @classmethod
+    def cover(cls, threads: int, block: int = 256) -> "LaunchConfig":
+        """Smallest grid of ``block``-sized blocks covering ``threads``."""
+        return cls(max(1, -(-max(1, int(threads)) // block)), block)
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """A named device kernel.
+
+    ``run`` computes the semantics; ``work`` estimates the hardware work
+    from the same arguments.  Both receive the launch args verbatim.
+    """
+
+    name: str
+    run: Callable[..., Any]
+    work: Callable[..., KernelWork]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Kernel({self.name})"
+
+
+def launch(
+    kernel: Kernel,
+    config: LaunchConfig,
+    *args: Any,
+    device: Optional[Device] = None,
+    stream=None,
+    **kwargs: Any,
+) -> Any:
+    """Execute a kernel on the simulated device and charge its time.
+
+    Returns whatever the kernel's semantic function returns.  When a stream
+    is given the launch is enqueued on that stream's timeline; otherwise it
+    runs on the device's default (serialising) timeline.
+    """
+    dev = device or get_device()
+    config.validate(dev)
+    work = kernel.work(*args, **kwargs)
+    if work.threads <= 1:
+        work = KernelWork(
+            flops=work.flops,
+            bytes_read=work.bytes_read,
+            bytes_written=work.bytes_written,
+            threads=config.threads,
+            divergence=work.divergence,
+            coalescing=work.coalescing,
+        )
+    dt = dev.cost_model.kernel_time_us(work)
+    if stream is not None:
+        start = stream.enqueue(dt)
+    else:
+        start = dev.clock_us
+        dev.advance(dt)
+    dev.profiler.record(
+        LaunchRecord(
+            name=kernel.name,
+            kind="kernel",
+            start_us=start,
+            duration_us=dt,
+            flops=work.flops,
+            bytes=work.bytes_total,
+            threads=work.threads,
+        )
+    )
+    return kernel.run(*args, **kwargs)
+
+
+def charge_transfer(nbytes: float, kind: str, device: Optional[Device] = None) -> float:
+    """Charge one H2D/D2H transfer to the device clock; returns duration."""
+    dev = device or get_device()
+    dt = dev.cost_model.transfer_time_us(nbytes)
+    start = dev.clock_us
+    dev.advance(dt)
+    dev.profiler.record(
+        LaunchRecord(name=f"memcpy_{kind}", kind=kind, start_us=start, duration_us=dt, bytes=nbytes)
+    )
+    return dt

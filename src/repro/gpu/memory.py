@@ -1,0 +1,146 @@
+"""Simulated device memory.
+
+The allocator hands out :class:`DeviceBuffer` objects backed by host NumPy
+arrays (the simulation computes on the host) while accounting for capacity
+and traffic exactly as a real ``cudaMalloc``/``cudaMemcpy`` sequence would:
+allocations count against the device's global memory, and every host↔device
+copy is recorded so transfer time can be charged by the cost model.
+
+Buffers are freed explicitly or by garbage collection (a finalizer returns
+the bytes to the pool), mirroring RAII device vectors in CUSP/GBTL-CUDA.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..exceptions import DeviceOutOfMemoryError, InvalidValueError
+
+__all__ = ["DeviceBuffer", "DeviceAllocator", "MemoryStats"]
+
+
+class MemoryStats:
+    """Counters for allocations and transfers."""
+
+    __slots__ = (
+        "alloc_count",
+        "free_count",
+        "bytes_allocated_total",
+        "h2d_count",
+        "h2d_bytes",
+        "d2h_count",
+        "d2h_bytes",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.alloc_count = 0
+        self.free_count = 0
+        self.bytes_allocated_total = 0
+        self.h2d_count = 0
+        self.h2d_bytes = 0
+        self.d2h_count = 0
+        self.d2h_bytes = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class DeviceBuffer:
+    """A device allocation holding a host-side mirror array."""
+
+    def __init__(self, allocator: "DeviceAllocator", nbytes: int, array: np.ndarray):
+        self._allocator = allocator
+        self.nbytes = int(nbytes)
+        self.array = array
+        self._alive = True
+        self._finalizer = weakref.finalize(self, allocator._release, self.nbytes)
+
+    def free(self) -> None:
+        """Explicitly return the allocation to the pool (idempotent)."""
+        if self._alive:
+            self._alive = False
+            self._finalizer()
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "alive" if self._alive else "freed"
+        return f"<DeviceBuffer {self.nbytes}B {state}>"
+
+
+class DeviceAllocator:
+    """Capacity-tracked allocator for the simulated device."""
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise InvalidValueError(f"capacity must be positive, got {capacity_bytes}")
+        self.capacity = int(capacity_bytes)
+        self.in_use = 0
+        self.stats = MemoryStats()
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self.in_use
+
+    def _reserve(self, nbytes: int) -> None:
+        if nbytes > self.free_bytes:
+            raise DeviceOutOfMemoryError(nbytes, self.free_bytes)
+        self.in_use += nbytes
+        self.stats.alloc_count += 1
+        self.stats.bytes_allocated_total += nbytes
+
+    def _release(self, nbytes: int) -> None:
+        self.in_use = max(0, self.in_use - nbytes)
+        self.stats.free_count += 1
+
+    def alloc(self, shape, dtype) -> DeviceBuffer:
+        """``cudaMalloc`` analogue: uninitialised device array."""
+        arr = np.empty(shape, dtype=dtype)
+        self._reserve(arr.nbytes)
+        return DeviceBuffer(self, arr.nbytes, arr)
+
+    def reserve(self, nbytes: int, record_h2d: bool = False) -> DeviceBuffer:
+        """Capacity-only allocation (no host mirror array).
+
+        Used when the simulation computes on existing host arrays and only
+        needs the device-memory *accounting* — e.g. the cuda_sim backend's
+        resident-container tracking.  With ``record_h2d`` the bytes also
+        count as upload traffic.
+        """
+        nbytes = int(nbytes)
+        self._reserve(nbytes)
+        if record_h2d:
+            self.stats.h2d_count += 1
+            self.stats.h2d_bytes += nbytes
+        return DeviceBuffer(self, nbytes, np.empty(0, dtype=np.uint8))
+
+    def upload(self, host_array: np.ndarray) -> DeviceBuffer:
+        """``cudaMemcpy`` H2D into a fresh allocation; records traffic."""
+        arr = np.ascontiguousarray(host_array)
+        self._reserve(arr.nbytes)
+        self.stats.h2d_count += 1
+        self.stats.h2d_bytes += arr.nbytes
+        # The simulation shares the host array (read-only by convention);
+        # copying here would double host memory for zero fidelity gain.
+        return DeviceBuffer(self, arr.nbytes, arr)
+
+    def download(self, buf: DeviceBuffer) -> np.ndarray:
+        """``cudaMemcpy`` D2H; records traffic and returns the host array."""
+        if not buf.alive:
+            raise InvalidValueError("download from freed device buffer")
+        self.stats.d2h_count += 1
+        self.stats.d2h_bytes += buf.nbytes
+        return buf.array
+
+    def reset(self) -> None:
+        """Drop accounting (buffers already handed out keep working)."""
+        self.in_use = 0
+        self.stats.reset()

@@ -1,0 +1,106 @@
+"""CUDA-style occupancy calculator.
+
+Real kernels rarely reach 100% theoretical occupancy: resident blocks per SM
+are limited by whichever of four resources runs out first — warp slots,
+block slots, registers, or shared memory.  This module reproduces the
+arithmetic of NVIDIA's occupancy calculator for the simulated device, so
+kernel authors (and the Table 3-style ablations) can reason about launch
+configurations quantitatively.
+
+The cost model uses a simpler grid-size heuristic by default; pass a
+:class:`KernelResources` through :func:`occupancy` for the detailed figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import InvalidLaunchError
+
+__all__ = ["SMLimits", "KernelResources", "OccupancyResult", "occupancy", "K40_LIMITS"]
+
+
+@dataclass(frozen=True)
+class SMLimits:
+    """Per-SM hardware limits (defaults: Kepler GK110 / K40)."""
+
+    max_warps: int = 64
+    max_blocks: int = 16
+    registers: int = 65536
+    shared_mem_bytes: int = 49152
+    warp_size: int = 32
+    register_alloc_unit: int = 256
+    shared_alloc_unit: int = 256
+
+
+K40_LIMITS = SMLimits()
+
+
+@dataclass(frozen=True)
+class KernelResources:
+    """What one block of the kernel consumes."""
+
+    threads_per_block: int
+    registers_per_thread: int = 32
+    shared_mem_per_block: int = 0
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Resident blocks/warps per SM and the limiting resource."""
+
+    blocks_per_sm: int
+    warps_per_sm: int
+    occupancy: float  # resident warps / max warps
+    limiter: str
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"OccupancyResult({self.occupancy:.0%}, {self.blocks_per_sm} blocks/SM, "
+            f"limited by {self.limiter})"
+        )
+
+
+def _round_up(x: int, unit: int) -> int:
+    return ((x + unit - 1) // unit) * unit
+
+
+def occupancy(res: KernelResources, limits: SMLimits = K40_LIMITS) -> OccupancyResult:
+    """Resident-block arithmetic of the CUDA occupancy calculator."""
+    if res.threads_per_block < 1:
+        raise InvalidLaunchError(f"threads_per_block must be >= 1, got {res.threads_per_block}")
+    if res.threads_per_block > limits.max_warps * limits.warp_size:
+        raise InvalidLaunchError(
+            f"block of {res.threads_per_block} threads exceeds SM warp capacity"
+        )
+    warps_per_block = -(-res.threads_per_block // limits.warp_size)
+
+    candidates = {}
+    candidates["warp slots"] = limits.max_warps // warps_per_block
+    candidates["block slots"] = limits.max_blocks
+    regs_per_block = _round_up(
+        res.registers_per_thread * warps_per_block * limits.warp_size,
+        limits.register_alloc_unit,
+    )
+    candidates["registers"] = (
+        limits.registers // regs_per_block if regs_per_block else limits.max_blocks
+    )
+    if res.shared_mem_per_block > 0:
+        smem = _round_up(res.shared_mem_per_block, limits.shared_alloc_unit)
+        if smem > limits.shared_mem_bytes:
+            raise InvalidLaunchError(
+                f"block shared memory {smem} exceeds SM capacity {limits.shared_mem_bytes}"
+            )
+        candidates["shared memory"] = limits.shared_mem_bytes // smem
+
+    limiter = min(candidates, key=lambda k: candidates[k])
+    blocks = max(0, candidates[limiter])
+    if blocks == 0:
+        raise InvalidLaunchError("kernel resources allow zero resident blocks")
+    warps = blocks * warps_per_block
+    return OccupancyResult(
+        blocks_per_sm=blocks,
+        warps_per_sm=warps,
+        occupancy=warps / limits.max_warps,
+        limiter=limiter,
+    )

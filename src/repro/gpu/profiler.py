@@ -1,0 +1,91 @@
+"""Kernel-launch profiler for the simulated device.
+
+Records one :class:`LaunchRecord` per kernel launch and per transfer; the
+benchmark harness reads the aggregate to report simulated GPU times (the
+host wall-clock of the simulation itself is meaningless for the GPU series).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = ["LaunchRecord", "Profiler"]
+
+
+@dataclass(frozen=True)
+class LaunchRecord:
+    """One simulated event: a kernel launch or a PCIe transfer."""
+
+    name: str
+    kind: str  # "kernel" | "h2d" | "d2h"
+    start_us: float
+    duration_us: float
+    flops: float = 0.0
+    bytes: float = 0.0
+    threads: int = 0
+
+    @property
+    def end_us(self) -> float:
+        return self.start_us + self.duration_us
+
+
+class Profiler:
+    """Accumulates launch records and provides aggregates."""
+
+    def __init__(self) -> None:
+        self.records: List[LaunchRecord] = []
+
+    def record(self, rec: LaunchRecord) -> None:
+        self.records.append(rec)
+
+    def reset(self) -> None:
+        self.records.clear()
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+
+    @property
+    def total_time_us(self) -> float:
+        return sum(r.duration_us for r in self.records)
+
+    @property
+    def kernel_time_us(self) -> float:
+        return sum(r.duration_us for r in self.records if r.kind == "kernel")
+
+    @property
+    def transfer_time_us(self) -> float:
+        return sum(r.duration_us for r in self.records if r.kind in ("h2d", "d2h"))
+
+    @property
+    def launch_count(self) -> int:
+        return sum(1 for r in self.records if r.kind == "kernel")
+
+    def by_kernel(self) -> Dict[str, Dict[str, float]]:
+        """Per-kernel-name aggregate: count, total time, flops, bytes."""
+        out: Dict[str, Dict[str, float]] = {}
+        for r in self.records:
+            if r.kind != "kernel":
+                continue
+            agg = out.setdefault(
+                r.name, {"count": 0, "time_us": 0.0, "flops": 0.0, "bytes": 0.0}
+            )
+            agg["count"] += 1
+            agg["time_us"] += r.duration_us
+            agg["flops"] += r.flops
+            agg["bytes"] += r.bytes
+        return out
+
+    def summary(self) -> str:
+        """Human-readable per-kernel table (for examples/EXPERIMENTS)."""
+        lines = [f"{'kernel':<28}{'count':>7}{'time_us':>12}{'GB':>9}"]
+        for name, agg in sorted(self.by_kernel().items()):
+            lines.append(
+                f"{name:<28}{int(agg['count']):>7}{agg['time_us']:>12.1f}"
+                f"{agg['bytes'] / 1e9:>9.3f}"
+            )
+        lines.append(
+            f"{'transfers':<28}{'':>7}{self.transfer_time_us:>12.1f}"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Streams and events on the simulated device.
+
+Each stream owns an independent timeline; work launched on different streams
+overlaps (the device clock tracks the furthest timeline).  Events capture a
+stream's current time and let another stream wait on it — enough to model
+the copy/compute overlap and inter-kernel dependencies that a CUDA backend
+orchestrates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .device import Device, get_device
+
+__all__ = ["Stream", "Event"]
+
+
+class Event:
+    """A recorded point on a stream's timeline."""
+
+    __slots__ = ("time_us",)
+
+    def __init__(self) -> None:
+        self.time_us: Optional[float] = None
+
+    @property
+    def recorded(self) -> bool:
+        return self.time_us is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Event t={self.time_us}>"
+
+
+class Stream:
+    """An ordered execution queue with its own simulated timeline."""
+
+    def __init__(self, device: Optional[Device] = None):
+        self.device = device or get_device()
+        # A new stream becomes usable "now".
+        self.timeline_us = self.device.clock_us
+
+    def enqueue(self, duration_us: float) -> float:
+        """Append ``duration_us`` of work; returns its start time."""
+        start = max(self.timeline_us, 0.0)
+        self.timeline_us = start + duration_us
+        # The device-wide clock is the furthest any stream has reached.
+        if self.timeline_us > self.device.clock_us:
+            self.device.advance(self.timeline_us - self.device.clock_us)
+        return start
+
+    def record_event(self, event: Optional[Event] = None) -> Event:
+        """``cudaEventRecord``: capture the stream's current time."""
+        ev = event or Event()
+        ev.time_us = self.timeline_us
+        return ev
+
+    def wait_event(self, event: Event) -> None:
+        """``cudaStreamWaitEvent``: stall this stream until the event."""
+        if not event.recorded:
+            raise ValueError("waiting on an unrecorded event")
+        self.timeline_us = max(self.timeline_us, event.time_us)
+
+    def synchronize(self) -> float:
+        """Block the host until this stream drains; returns its time."""
+        return self.timeline_us
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Stream t={self.timeline_us:.1f}us>"

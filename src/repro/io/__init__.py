@@ -1,0 +1,16 @@
+"""Graph/matrix file I/O: MatrixMarket, edge lists, binary npz."""
+
+from .binary import load_matrix, load_vector, save_matrix, save_vector
+from .edgelist import read_edgelist, write_edgelist
+from .matrixmarket import read_matrix_market, write_matrix_market
+
+__all__ = [
+    "load_matrix",
+    "load_vector",
+    "save_matrix",
+    "save_vector",
+    "read_edgelist",
+    "write_edgelist",
+    "read_matrix_market",
+    "write_matrix_market",
+]

@@ -1,0 +1,80 @@
+"""Binary (NumPy ``.npz``) serialization of matrices and vectors.
+
+Loss-free and fast: stores the canonical container arrays plus the domain
+name, so round-trips preserve type, shape, and values bit-exactly — the
+format to use for benchmark workload caching.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..containers.csr import CSRMatrix
+from ..containers.sparsevec import SparseVector
+from ..core.matrix import Matrix
+from ..core.vector import Vector
+from ..exceptions import InvalidValueError
+from ..types import lookup
+
+__all__ = ["save_matrix", "load_matrix", "save_vector", "load_vector"]
+
+_MAGIC_M = "repro.matrix.v1"
+_MAGIC_V = "repro.vector.v1"
+
+
+def save_matrix(m: Matrix, path: Union[str, Path]) -> None:
+    """Write a Matrix as a compressed ``.npz``."""
+    c = m.container
+    np.savez_compressed(
+        path,
+        magic=np.array(_MAGIC_M),
+        type_name=np.array(c.type.name),
+        nrows=np.int64(c.nrows),
+        ncols=np.int64(c.ncols),
+        indptr=c.indptr,
+        indices=c.indices,
+        values=c.values,
+    )
+
+
+def load_matrix(path: Union[str, Path]) -> Matrix:
+    """Read a Matrix written by :func:`save_matrix`."""
+    with np.load(path, allow_pickle=False) as z:
+        if str(z["magic"]) != _MAGIC_M:
+            raise InvalidValueError(f"{path}: not a repro matrix file")
+        typ = lookup(str(z["type_name"]))
+        return Matrix(
+            CSRMatrix(
+                int(z["nrows"]),
+                int(z["ncols"]),
+                z["indptr"],
+                z["indices"],
+                z["values"],
+                typ,
+            )
+        )
+
+
+def save_vector(v: Vector, path: Union[str, Path]) -> None:
+    """Write a Vector as a compressed ``.npz``."""
+    c = v.container
+    np.savez_compressed(
+        path,
+        magic=np.array(_MAGIC_V),
+        type_name=np.array(c.type.name),
+        size=np.int64(c.size),
+        indices=c.indices,
+        values=c.values,
+    )
+
+
+def load_vector(path: Union[str, Path]) -> Vector:
+    """Read a Vector written by :func:`save_vector`."""
+    with np.load(path, allow_pickle=False) as z:
+        if str(z["magic"]) != _MAGIC_V:
+            raise InvalidValueError(f"{path}: not a repro vector file")
+        typ = lookup(str(z["type_name"]))
+        return Vector(SparseVector(int(z["size"]), z["indices"], z["values"], typ))

@@ -1,0 +1,87 @@
+"""Edge-list (TSV/CSV/space-separated) I/O.
+
+The format real-world graph dumps come in: one ``src dst [weight]`` line per
+edge, ``#``-prefixed comments, configurable delimiter.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, TextIO, Union
+
+import numpy as np
+
+from ..core.matrix import Matrix
+from ..core.operators import FIRST
+from ..exceptions import InvalidValueError
+from ..types import FP64, GrBType
+
+__all__ = ["read_edgelist", "write_edgelist"]
+
+
+def _open(path_or_file: Union[str, Path, TextIO], mode: str):
+    if isinstance(path_or_file, (str, Path)):
+        return open(path_or_file, mode), True
+    return path_or_file, False
+
+
+def read_edgelist(
+    path_or_file: Union[str, Path, TextIO],
+    n: Optional[int] = None,
+    typ: GrBType = FP64,
+    delimiter: Optional[str] = None,
+    directed: bool = True,
+    default_weight: float = 1.0,
+    comment: str = "#",
+) -> Matrix:
+    """Parse ``src dst [weight]`` lines into an adjacency Matrix.
+
+    ``n`` fixes the vertex count; when omitted it is ``max(id) + 1``.
+    ``delimiter=None`` splits on any whitespace.  Undirected input is
+    symmetrised.
+    """
+    f, should_close = _open(path_or_file, "r")
+    try:
+        srcs, dsts, ws = [], [], []
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line or line.startswith(comment):
+                continue
+            parts = line.split(delimiter)
+            if len(parts) < 2:
+                raise InvalidValueError(f"line {lineno}: need at least src dst")
+            srcs.append(int(parts[0]))
+            dsts.append(int(parts[1]))
+            ws.append(float(parts[2]) if len(parts) > 2 else default_weight)
+        src = np.asarray(srcs, dtype=np.int64)
+        dst = np.asarray(dsts, dtype=np.int64)
+        w = np.asarray(ws, dtype=typ.dtype)
+        if n is None:
+            n = int(max(src.max(initial=-1), dst.max(initial=-1)) + 1)
+        if not directed:
+            src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+            w = np.concatenate([w, w])
+        return Matrix.from_lists(src, dst, w, n, n, typ, dup=FIRST)
+    finally:
+        if should_close:
+            f.close()
+
+
+def write_edgelist(
+    m: Matrix,
+    path_or_file: Union[str, Path, TextIO],
+    delimiter: str = "\t",
+    weights: bool = True,
+) -> None:
+    """Write one ``src<delim>dst[<delim>weight]`` line per stored entry."""
+    f, should_close = _open(path_or_file, "w")
+    try:
+        coo = m.to_coo()
+        for r, c, v in zip(coo.rows, coo.cols, coo.vals):
+            if weights:
+                f.write(f"{r}{delimiter}{c}{delimiter}{v}\n")
+            else:
+                f.write(f"{r}{delimiter}{c}\n")
+    finally:
+        if should_close:
+            f.close()

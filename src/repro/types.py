@@ -1,0 +1,182 @@
+"""GraphBLAS type system.
+
+The GraphBLAS specification defines eleven predefined scalar domains.  GBTL
+uses C++ template parameters for these; we model them as :class:`GrBType`
+descriptors that wrap a NumPy dtype and carry the spec name, so containers can
+store values in packed NumPy arrays while the frontend reasons about domains
+and promotion the way the spec does.
+
+Promotion follows the C rules the spec inherits (and NumPy implements):
+``promote(INT32, FP32) == FP32`` etc.  ``BOOL`` participates as the weakest
+domain.  User-defined types (``GrB_UDT``) are supported via
+:func:`register_type` with ``object`` dtype storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+import numpy as np
+
+__all__ = [
+    "GrBType",
+    "BOOL",
+    "INT8",
+    "INT16",
+    "INT32",
+    "INT64",
+    "UINT8",
+    "UINT16",
+    "UINT32",
+    "UINT64",
+    "FP32",
+    "FP64",
+    "ALL_TYPES",
+    "promote",
+    "from_dtype",
+    "from_value",
+    "register_type",
+    "lookup",
+]
+
+
+@dataclass(frozen=True)
+class GrBType:
+    """A GraphBLAS scalar domain backed by a NumPy dtype.
+
+    Attributes
+    ----------
+    name:
+        Spec-style name (``"FP64"``, ``"INT32"``...).
+    dtype:
+        The NumPy dtype used for packed storage.
+    rank:
+        Promotion rank; higher ranks win in :func:`promote` among the same
+        kind, and float beats int beats bool across kinds.
+    """
+
+    name: str
+    dtype: np.dtype = field(compare=False)
+    rank: int = field(compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "dtype", np.dtype(self.dtype))
+
+    @property
+    def is_boolean(self) -> bool:
+        return self.dtype.kind == "b"
+
+    @property
+    def is_integral(self) -> bool:
+        return self.dtype.kind in ("i", "u")
+
+    @property
+    def is_signed(self) -> bool:
+        return self.dtype.kind == "i"
+
+    @property
+    def is_floating(self) -> bool:
+        return self.dtype.kind == "f"
+
+    @property
+    def nbytes(self) -> int:
+        return self.dtype.itemsize
+
+    def cast(self, value: Any) -> Any:
+        """Cast a Python/NumPy scalar into this domain (C-style truncation)."""
+        return self.dtype.type(value)
+
+    def zeros(self, n: int) -> np.ndarray:
+        return np.zeros(n, dtype=self.dtype)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"GrBType({self.name})"
+
+
+BOOL = GrBType("BOOL", np.bool_, 0)
+INT8 = GrBType("INT8", np.int8, 1)
+UINT8 = GrBType("UINT8", np.uint8, 1)
+INT16 = GrBType("INT16", np.int16, 2)
+UINT16 = GrBType("UINT16", np.uint16, 2)
+INT32 = GrBType("INT32", np.int32, 3)
+UINT32 = GrBType("UINT32", np.uint32, 3)
+INT64 = GrBType("INT64", np.int64, 4)
+UINT64 = GrBType("UINT64", np.uint64, 4)
+FP32 = GrBType("FP32", np.float32, 5)
+FP64 = GrBType("FP64", np.float64, 6)
+
+ALL_TYPES = (
+    BOOL,
+    INT8,
+    UINT8,
+    INT16,
+    UINT16,
+    INT32,
+    UINT32,
+    INT64,
+    UINT64,
+    FP32,
+    FP64,
+)
+
+_BY_NAME: Dict[str, GrBType] = {t.name: t for t in ALL_TYPES}
+_BY_DTYPE: Dict[np.dtype, GrBType] = {t.dtype: t for t in ALL_TYPES}
+
+
+def register_type(name: str, dtype: Any, rank: int = 100) -> GrBType:
+    """Register a user-defined type (``GrB_UDT`` analogue).
+
+    User types promote above every predefined type; mixing two distinct user
+    types raises in :func:`promote`.
+    """
+    t = GrBType(name, np.dtype(dtype), rank)
+    if name in _BY_NAME:
+        raise ValueError(f"type {name!r} already registered")
+    _BY_NAME[name] = t
+    _BY_DTYPE.setdefault(t.dtype, t)
+    return t
+
+
+def lookup(name: str) -> GrBType:
+    """Look a type up by its spec name (``"FP64"``)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown GraphBLAS type {name!r}") from None
+
+
+def from_dtype(dtype: Any) -> GrBType:
+    """Map a NumPy dtype (or anything convertible) to a GraphBLAS type."""
+    dt = np.dtype(dtype)
+    try:
+        return _BY_DTYPE[dt]
+    except KeyError:
+        raise KeyError(f"no GraphBLAS type for dtype {dt}") from None
+
+
+def from_value(value: Any) -> GrBType:
+    """Infer the domain of a Python scalar (bool < int < float)."""
+    if isinstance(value, (bool, np.bool_)):
+        return BOOL
+    if isinstance(value, (int, np.integer)):
+        return INT64
+    if isinstance(value, (float, np.floating)):
+        return FP64
+    raise TypeError(f"cannot infer GraphBLAS type for {type(value).__name__}")
+
+
+def promote(a: GrBType, b: GrBType) -> GrBType:
+    """Return the common domain of ``a`` and ``b``.
+
+    Uses NumPy's C-compatible promotion for the predefined domains, which
+    matches the behaviour the GraphBLAS spec prescribes for mixed-domain
+    operations.  Identical types short-circuit.
+    """
+    if a is b or a == b:
+        return a
+    dt = np.promote_types(a.dtype, b.dtype)
+    try:
+        return _BY_DTYPE[dt]
+    except KeyError:
+        raise TypeError(f"cannot promote {a.name} with {b.name}") from None

@@ -1,0 +1,70 @@
+"""Shared fixtures: small graphs, dense references, backend parametrisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro as gb
+
+BACKENDS = ["reference", "cpu", "cuda_sim"]
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    """Run the test under each backend."""
+    with gb.use_backend(request.param):
+        yield request.param
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def random_dense_matrix(rng, nrows, ncols, density=0.3, dtype=np.float64):
+    """Dense array with ~density nonzeros (values in [1, 10))."""
+    m = rng.uniform(1.0, 10.0, (nrows, ncols))
+    m[rng.random((nrows, ncols)) >= density] = 0.0
+    return m.astype(dtype)
+
+
+def random_dense_vector(rng, n, density=0.4, dtype=np.float64):
+    v = rng.uniform(1.0, 10.0, n)
+    v[rng.random(n) >= density] = 0.0
+    return v.astype(dtype)
+
+
+@pytest.fixture
+def small_graph():
+    """A fixed 6-vertex directed weighted graph used across tests.
+
+    Edges: 0->1 (1), 0->2 (4), 1->2 (2), 1->3 (7), 2->4 (3), 3->5 (1),
+    4->3 (2), 4->5 (5).
+    """
+    return gb.Matrix.from_lists(
+        [0, 0, 1, 1, 2, 3, 4, 4],
+        [1, 2, 2, 3, 4, 5, 3, 5],
+        [1.0, 4.0, 2.0, 7.0, 3.0, 1.0, 2.0, 5.0],
+        6,
+        6,
+        gb.FP64,
+    )
+
+
+@pytest.fixture
+def undirected_graph():
+    """A fixed symmetric weighted graph (triangle 0-1-2 plus tail 2-3-4)."""
+    rows = [0, 1, 0, 2, 1, 2, 2, 3, 3, 4]
+    cols = [1, 0, 2, 0, 2, 1, 3, 2, 4, 3]
+    vals = [1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 1.0, 1.0, 2.0, 2.0]
+    return gb.Matrix.from_lists(rows, cols, vals, 5, 5, gb.FP64)
+
+
+def assert_vector_equals_dense(vec, dense, fill=0):
+    """Vector's dense form matches a NumPy array (implicit == fill)."""
+    np.testing.assert_allclose(vec.to_dense(fill), dense, rtol=1e-12, atol=1e-12)
+
+
+def assert_matrix_equals_dense(mat, dense, fill=0):
+    np.testing.assert_allclose(mat.to_dense(fill), dense, rtol=1e-12, atol=1e-12)

@@ -1,0 +1,144 @@
+"""APSP and k-core algorithms vs networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+import repro as gb
+from repro.algorithms import (
+    apsp,
+    apsp_from_sources,
+    core_numbers,
+    kcore,
+    sssp,
+)
+
+
+def to_nx(g):
+    G = nx.Graph()
+    G.add_nodes_from(range(g.nrows))
+    r, c, v = g.to_lists()
+    for i, j, w in zip(r, c, v):
+        G.add_edge(i, j, weight=w)
+    return G
+
+
+class TestApsp:
+    def test_small_graph(self, backend, small_graph):
+        d = apsp(small_graph)
+        assert d.get(0, 0) == 0.0
+        assert d.get(0, 2) == 3.0  # 0->1->2
+        assert d.get(0, 5) == 9.0
+        assert d.get(5, 0) is None  # 5 reaches nothing
+
+    def test_matches_networkx(self, backend):
+        g = gb.generators.erdos_renyi_gnp(20, 0.2, seed=3, weighted=True)
+        d = apsp(g)
+        G = to_nx(g)
+        for s, lengths in nx.all_pairs_dijkstra_path_length(G):
+            for t, dist in lengths.items():
+                assert d.get(s, t) == pytest.approx(dist)
+
+    def test_rows_match_sssp(self, backend):
+        g = gb.generators.erdos_renyi_gnp(15, 0.25, seed=4, weighted=True)
+        d = apsp(g)
+        for s in (0, 7):
+            single = sssp(g, s)
+            for v, dist in zip(*single.to_lists()):
+                assert d.get(s, int(v)) == pytest.approx(dist)
+
+    def test_diagonal_zero(self, backend):
+        g = gb.generators.cycle_graph(5)
+        d = apsp(g)
+        for i in range(5):
+            assert d.get(i, i) == 0.0
+
+    def test_empty_graph(self, backend):
+        d = apsp(gb.Matrix.sparse(gb.FP64, 0, 0))
+        assert d.shape == (0, 0)
+
+    def test_disconnected_absent(self, backend):
+        g = gb.Matrix.from_lists([0, 1], [1, 0], [1.0, 1.0], 3, 3)
+        d = apsp(g)
+        assert d.get(0, 2) is None and d.get(2, 2) == 0.0
+
+    def test_requires_square(self, backend):
+        with pytest.raises(gb.InvalidValueError):
+            apsp(gb.Matrix.sparse(gb.FP64, 2, 3))
+
+    def test_from_sources(self, backend):
+        g = gb.generators.erdos_renyi_gnp(12, 0.3, seed=5, weighted=True)
+        rows = apsp_from_sources(g, [3, 7])
+        assert rows.shape == (2, 12)
+        d3 = sssp(g, 3)
+        for v, dist in zip(*d3.to_lists()):
+            assert rows.get(0, int(v)) == pytest.approx(dist)
+
+    def test_from_all_sources_matches_apsp(self, backend):
+        g = gb.generators.erdos_renyi_gnp(10, 0.3, seed=6, weighted=True)
+        full = apsp(g)
+        rows = apsp_from_sources(g)
+        # Same structure; values agree to rounding (squaring associates path
+        # sums differently than edge-by-edge relaxation).
+        assert rows.shape == full.shape and rows.nvals == full.nvals
+        np.testing.assert_array_equal(rows.container.indptr, full.container.indptr)
+        np.testing.assert_array_equal(rows.container.indices, full.container.indices)
+        np.testing.assert_allclose(
+            rows.container.values, full.container.values, rtol=1e-12
+        )
+
+
+class TestKcore:
+    def test_triangle_with_tail(self, backend):
+        # Triangle 0-1-2 plus tail 2-3: 2-core is the triangle.
+        g = gb.Matrix.from_lists(
+            [0, 1, 0, 2, 1, 2, 2, 3],
+            [1, 0, 2, 0, 2, 1, 3, 2],
+            [1.0] * 8,
+            4,
+            4,
+        )
+        core2 = kcore(g, 2)
+        assert sorted(core2.to_lists()[0]) == [0, 1, 2]
+
+    def test_k0_keeps_everything(self, backend):
+        g = gb.generators.path_graph(5)
+        assert kcore(g, 0).nvals == 5
+
+    def test_too_large_k_empty(self, backend):
+        g = gb.generators.path_graph(5)
+        assert kcore(g, 3).nvals == 0
+
+    def test_complete_graph(self, backend):
+        g = gb.generators.complete_graph(5)
+        assert kcore(g, 4).nvals == 5
+        assert kcore(g, 5).nvals == 0
+
+    def test_negative_k_rejected(self, backend):
+        with pytest.raises(gb.InvalidValueError):
+            kcore(gb.generators.path_graph(3), -1)
+
+    def test_matches_networkx(self, backend):
+        g = gb.generators.erdos_renyi_gnp(30, 0.15, seed=7)
+        G = to_nx(g)
+        for k in (1, 2, 3):
+            expected = set(nx.k_core(G, k).nodes()) - {
+                v for v in G if G.degree(v) == 0
+            }
+            got = set(kcore(g, k).to_lists()[0])
+            # networkx keeps isolated nodes in the 0-core only.
+            assert got == expected
+
+    def test_core_numbers_match_networkx(self, backend):
+        g = gb.generators.erdos_renyi_gnp(25, 0.2, seed=8)
+        G = to_nx(g)
+        expected = nx.core_number(G)
+        got = core_numbers(g)
+        for v in range(25):
+            assert got.get(v) == expected[v]
+
+    def test_core_numbers_dense_output(self, backend):
+        g = gb.Matrix.sparse(gb.FP64, 4, 4)
+        cn = core_numbers(g)
+        assert cn.nvals == 4
+        assert all(cn.get(i) == 0 for i in range(4))

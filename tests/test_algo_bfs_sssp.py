@@ -1,0 +1,143 @@
+"""BFS and SSSP: hand-checked cases, networkx cross-validation, edge cases."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+import repro as gb
+from repro.algorithms import bfs_levels, bfs_parents, sssp, sssp_bellman_ford
+from repro.algorithms.sssp import NegativeCycleError
+
+
+def to_nx(g, directed=True, weighted=True):
+    G = nx.DiGraph() if directed else nx.Graph()
+    G.add_nodes_from(range(g.nrows))
+    r, c, v = g.to_lists()
+    for i, j, w in zip(r, c, v):
+        G.add_edge(i, j, weight=w if weighted else 1.0)
+    return G
+
+
+class TestBfsLevels:
+    def test_small_graph(self, small_graph, backend):
+        levels = bfs_levels(small_graph, 0)
+        assert levels.get(0) == 0
+        assert levels.get(1) == 1 and levels.get(2) == 1
+        assert levels.get(3) == 2 and levels.get(4) == 2
+        assert levels.get(5) == 3
+
+    def test_unreachable_has_no_entry(self, backend):
+        g = gb.Matrix.from_lists([0], [1], [1.0], 4, 4)
+        levels = bfs_levels(g, 0)
+        assert levels.nvals == 2
+        assert 3 not in levels
+
+    def test_isolated_source(self, backend):
+        g = gb.Matrix.sparse(gb.FP64, 3, 3)
+        levels = bfs_levels(g, 1)
+        assert levels.to_lists() == ([1], [0])
+
+    def test_source_out_of_range(self, backend):
+        g = gb.Matrix.sparse(gb.FP64, 3, 3)
+        with pytest.raises(gb.IndexOutOfBoundsError):
+            bfs_levels(g, 3)
+
+    def test_max_depth_truncates(self, backend):
+        g = gb.generators.path_graph(10)
+        levels = bfs_levels(g, 0, max_depth=3)
+        assert levels.nvals == 4  # levels 0..3
+
+    @pytest.mark.parametrize("direction", ["push", "pull", "auto"])
+    def test_directions_equivalent(self, backend, direction):
+        g = gb.generators.rmat(scale=6, edge_factor=4, seed=2)
+        base = bfs_levels(g, 0, direction="auto")
+        assert bfs_levels(g, 0, direction=direction) == base
+
+    def test_matches_networkx(self, backend):
+        g = gb.generators.erdos_renyi_gnp(50, 0.08, seed=4)
+        G = to_nx(g)
+        expected = nx.single_source_shortest_path_length(G, 0)
+        levels = bfs_levels(g, 0)
+        assert levels.nvals == len(expected)
+        for v, d in expected.items():
+            assert levels.get(v) == d
+
+    def test_cycle(self, backend):
+        g = gb.generators.cycle_graph(6)
+        levels = bfs_levels(g, 0)
+        assert levels.get(3) == 3  # opposite point of the ring
+        assert levels.get(5) == 1  # wraps the other way
+
+
+class TestBfsParents:
+    def test_source_is_own_parent(self, backend, small_graph):
+        parents = bfs_parents(small_graph, 0)
+        assert parents.get(0) == 0
+
+    def test_parent_edges_exist_and_levels_consistent(self, backend, small_graph):
+        parents = bfs_parents(small_graph, 0)
+        levels = bfs_levels(small_graph, 0)
+        for v, p in zip(*parents.to_lists()):
+            if v == 0:
+                continue
+            assert small_graph.get(int(p), int(v)) is not None
+            assert levels.get(int(v)) == levels.get(int(p)) + 1
+
+    def test_deterministic_min_parent(self, backend):
+        # Both 0 and 1 reach 2; the MIN monoid must pick parent 0.
+        g = gb.Matrix.from_lists([0, 0, 1], [1, 2, 2], [1.0] * 3, 3, 3)
+        parents = bfs_parents(g, 0)
+        assert parents.get(2) == 0
+
+    def test_covers_reachable_set(self, backend):
+        g = gb.generators.erdos_renyi_gnp(40, 0.1, seed=6)
+        assert bfs_parents(g, 0).nvals == bfs_levels(g, 0).nvals
+
+
+class TestSssp:
+    def test_small_graph_distances(self, backend, small_graph):
+        d = sssp(small_graph, 0)
+        assert d.get(0) == 0.0
+        assert d.get(1) == 1.0
+        assert d.get(2) == 3.0  # 0->1->2 beats 0->2
+        assert d.get(3) == 8.0
+        assert d.get(4) == 6.0
+        assert d.get(5) == 9.0
+
+    def test_bellman_ford_agrees(self, backend, small_graph):
+        assert sssp(small_graph, 0) == sssp_bellman_ford(small_graph, 0)
+
+    def test_matches_networkx_dijkstra(self, backend):
+        g = gb.generators.erdos_renyi_gnp(40, 0.12, seed=8, weighted=True)
+        G = to_nx(g)
+        expected = nx.single_source_dijkstra_path_length(G, 0)
+        d = sssp(g, 0)
+        assert d.nvals == len(expected)
+        for v, dist in expected.items():
+            assert d.get(v) == pytest.approx(dist)
+
+    def test_unreachable_no_entry(self, backend):
+        g = gb.Matrix.from_lists([0], [1], [2.0], 3, 3)
+        d = sssp(g, 0)
+        assert 2 not in d and d.get(1) == 2.0
+
+    def test_negative_edges_ok_bellman_ford(self, backend):
+        g = gb.Matrix.from_lists([0, 1], [1, 2], [5.0, -2.0], 3, 3)
+        d = sssp_bellman_ford(g, 0)
+        assert d.get(2) == 3.0
+
+    def test_negative_cycle_detected(self, backend):
+        g = gb.Matrix.from_lists([0, 1, 2], [1, 2, 1], [1.0, -3.0, 1.0], 3, 3)
+        with pytest.raises(NegativeCycleError):
+            sssp_bellman_ford(g, 0)
+
+    def test_source_out_of_range(self, backend):
+        with pytest.raises(gb.IndexOutOfBoundsError):
+            sssp(gb.Matrix.sparse(gb.FP64, 2, 2), 5)
+
+    def test_grid_distances(self, backend):
+        g = gb.generators.grid_2d(4, 4)  # unit weights
+        d = sssp(g, 0)
+        # Manhattan distance on unit-weight grid.
+        assert d.get(15) == 6.0
+        assert d.get(5) == 2.0

@@ -1,0 +1,86 @@
+"""Delta-stepping SSSP: correctness across Δ values and backends."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+import repro as gb
+from repro.algorithms import split_light_heavy, sssp, sssp_delta_stepping
+
+
+class TestSplitLightHeavy:
+    def test_partition(self):
+        g = gb.Matrix.from_lists([0, 0, 1], [1, 2, 2], [1.0, 5.0, 3.0], 3, 3)
+        light, heavy = split_light_heavy(g, 3.0)
+        assert light.nvals == 2 and heavy.nvals == 1
+        assert light.get(0, 1) == 1.0 and light.get(1, 2) == 3.0
+        assert heavy.get(0, 2) == 5.0
+
+    def test_union_is_original(self):
+        g = gb.generators.erdos_renyi_gnp(20, 0.2, seed=1, weighted=True)
+        light, heavy = split_light_heavy(g, 100.0)
+        assert light.nvals + heavy.nvals == g.nvals
+
+
+class TestDeltaStepping:
+    def test_small_graph(self, backend, small_graph):
+        d = sssp_delta_stepping(small_graph, 0, delta=2.0)
+        assert d.get(0) == 0.0
+        assert d.get(2) == 3.0
+        assert d.get(5) == 9.0
+
+    @pytest.mark.parametrize("delta", [0.5, 4.0, 64.0, 1e6, None])
+    def test_delta_invariance(self, backend, delta):
+        g = gb.generators.erdos_renyi_gnp(35, 0.12, seed=2, weighted=True)
+        ref = sssp(g, 0)
+        d = sssp_delta_stepping(g, 0, delta=delta)
+        assert d.to_lists()[0] == ref.to_lists()[0]
+        np.testing.assert_allclose(d.values_array(), ref.values_array(), rtol=1e-12)
+
+    def test_matches_dijkstra(self, backend):
+        g = gb.generators.erdos_renyi_gnp(30, 0.15, seed=4, weighted=True)
+        G = nx.Graph()
+        G.add_nodes_from(range(30))
+        r, c, v = g.to_lists()
+        for i, j, w in zip(r, c, v):
+            G.add_edge(i, j, weight=w)
+        expected = nx.single_source_dijkstra_path_length(G, 0)
+        d = sssp_delta_stepping(g, 0)
+        assert d.nvals == len(expected)
+        for vtx, dist in expected.items():
+            assert d.get(vtx) == pytest.approx(dist)
+
+    def test_unit_weights_bucket_per_level(self, backend):
+        g = gb.generators.path_graph(8)
+        d = sssp_delta_stepping(g, 0, delta=1.0)
+        for v in range(8):
+            assert d.get(v) == float(v)
+
+    def test_empty_graph(self, backend):
+        g = gb.Matrix.sparse(gb.FP64, 4, 4)
+        d = sssp_delta_stepping(g, 2)
+        assert d.to_lists() == ([2], [0.0])
+
+    def test_disconnected(self, backend):
+        g = gb.Matrix.from_lists([0, 1], [1, 0], [2.0, 2.0], 4, 4)
+        d = sssp_delta_stepping(g, 0, delta=1.0)
+        assert d.nvals == 2 and 3 not in d
+
+    def test_validation(self, backend):
+        g = gb.generators.path_graph(3)
+        with pytest.raises(gb.IndexOutOfBoundsError):
+            sssp_delta_stepping(g, 9)
+        with pytest.raises(gb.InvalidValueError):
+            sssp_delta_stepping(g, 0, delta=0.0)
+
+    def test_negative_weights_rejected(self, backend):
+        g = gb.Matrix.from_lists([0], [1], [-1.0], 2, 2)
+        with pytest.raises(gb.InvalidValueError):
+            sssp_delta_stepping(g, 0)
+
+    def test_grid_road_network(self, backend):
+        g = gb.generators.grid_2d(8, 8, weighted=True, seed=5)
+        ref = sssp(g, 0)
+        d = sssp_delta_stepping(g, 0, delta=32.0)
+        assert d.to_lists()[0] == ref.to_lists()[0]
+        np.testing.assert_allclose(d.values_array(), ref.values_array(), rtol=1e-12)

@@ -1,0 +1,220 @@
+"""MIS, MST, k-truss, betweenness centrality, metrics."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+import repro as gb
+from repro.algorithms import (
+    average_degree,
+    betweenness_centrality,
+    edge_count,
+    graph_density,
+    graph_diameter,
+    in_degrees,
+    is_symmetric,
+    ktruss,
+    mis,
+    mst_prim,
+    out_degrees,
+    verify_mis,
+    vertex_eccentricity,
+)
+
+
+def to_nx_weighted(g):
+    G = nx.Graph()
+    G.add_nodes_from(range(g.nrows))
+    r, c, v = g.to_lists()
+    for i, j, w in zip(r, c, v):
+        G.add_edge(i, j, weight=w)
+    return G
+
+
+class TestMis:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_valid_on_random_graphs(self, backend, seed):
+        g = gb.generators.erdos_renyi_gnp(40, 0.1, seed=seed)
+        s = mis(g, seed=seed)
+        assert verify_mis(g, s)
+
+    def test_empty_graph_takes_all(self, backend):
+        g = gb.Matrix.sparse(gb.FP64, 5, 5)
+        s = mis(g, seed=0)
+        assert s.nvals == 5
+
+    def test_complete_graph_takes_one(self, backend):
+        g = gb.generators.complete_graph(6)
+        s = mis(g, seed=0)
+        assert s.nvals == 1 and verify_mis(g, s)
+
+    def test_star_graph(self, backend):
+        g = gb.generators.star_graph(8)
+        s = mis(g, seed=3)
+        assert verify_mis(g, s)
+        # Either the center alone or all the leaves.
+        assert s.nvals in (1, 7)
+
+    def test_deterministic_for_seed(self, backend):
+        g = gb.generators.erdos_renyi_gnp(30, 0.15, seed=9)
+        assert mis(g, seed=5) == mis(g, seed=5)
+
+    def test_verify_rejects_dependent_set(self, backend):
+        g = gb.generators.complete_graph(3)
+        bad = gb.Vector.from_lists([0, 1], [True, True], 3, gb.BOOL)
+        assert not verify_mis(g, bad)
+
+    def test_verify_rejects_non_maximal(self, backend):
+        g = gb.generators.path_graph(5)
+        bad = gb.Vector.from_lists([0], [True], 5, gb.BOOL)
+        assert not verify_mis(g, bad)
+
+
+class TestMst:
+    def test_path_graph_weight(self, backend):
+        g = gb.generators.path_graph(5)  # unit weights
+        total, parents = mst_prim(g, 0)
+        assert total == 4.0
+        assert parents.nvals == 5
+
+    def test_matches_networkx(self, backend):
+        g = gb.generators.erdos_renyi_gnp(25, 0.25, seed=11, weighted=True)
+        G = to_nx_weighted(g)
+        comp = nx.node_connected_component(G, 0)
+        expected = nx.minimum_spanning_tree(G.subgraph(comp)).size(weight="weight")
+        total, parents = mst_prim(g, 0)
+        assert total == pytest.approx(expected)
+        assert parents.nvals == len(comp)
+
+    def test_parents_form_tree_edges(self, backend):
+        g = gb.generators.erdos_renyi_gnp(20, 0.3, seed=12, weighted=True)
+        total, parents = mst_prim(g, 0)
+        for v, p in zip(*parents.to_lists()):
+            if v == 0:
+                assert p == 0
+            else:
+                assert g.get(int(p), int(v)) is not None
+
+    def test_disconnected_covers_only_component(self, backend):
+        g = gb.Matrix.from_lists(
+            [0, 1, 2, 3], [1, 0, 3, 2], [1.0] * 4, 4, 4
+        )
+        total, parents = mst_prim(g, 0)
+        assert total == 1.0
+        assert parents.nvals == 2
+
+
+class TestKtruss:
+    def test_k3_is_triangle_edges(self, backend):
+        # Triangle + pendant edge: 3-truss drops the pendant.
+        g = gb.Matrix.from_lists(
+            [0, 1, 0, 2, 1, 2, 2, 3],
+            [1, 0, 2, 0, 2, 1, 3, 2],
+            [1.0] * 8,
+            4,
+            4,
+        )
+        t = ktruss(g, 3)
+        assert t.nvals == 6  # both directions of the 3 triangle edges
+        assert t.get(2, 3) is None
+
+    def test_k4_of_k4_graph(self, backend):
+        g = gb.generators.complete_graph(4)
+        t = ktruss(g, 4)
+        assert t.nvals == 12  # K4 is a 4-truss
+
+    def test_too_large_k_empties(self, backend):
+        g = gb.generators.complete_graph(4)
+        assert ktruss(g, 5).nvals == 0
+
+    def test_k_validation(self, backend):
+        with pytest.raises(gb.InvalidValueError):
+            ktruss(gb.generators.complete_graph(3), 2)
+
+    def test_matches_networkx(self, backend):
+        g = gb.generators.erdos_renyi_gnp(25, 0.3, seed=13)
+        G = nx.Graph()
+        G.add_nodes_from(range(25))
+        r, c, _ = g.to_lists()
+        G.add_edges_from(zip(r, c))
+        expected = nx.k_truss(G, 3)
+        t = ktruss(g, 3)
+        assert t.nvals == 2 * expected.number_of_edges()
+
+
+class TestBetweenness:
+    def test_path_graph(self, backend):
+        g = gb.generators.path_graph(5)
+        bc = betweenness_centrality(g)
+        expected = nx.betweenness_centrality(
+            nx.DiGraph([(i, i + 1) for i in range(4)] + [(i + 1, i) for i in range(4)]),
+            normalized=False,
+        )
+        for v in range(5):
+            assert bc.get(v, 0.0) == pytest.approx(expected[v])
+
+    def test_matches_networkx_random(self, backend):
+        g = gb.generators.erdos_renyi_gnp(25, 0.12, seed=14)
+        G = nx.DiGraph()
+        G.add_nodes_from(range(25))
+        r, c, _ = g.to_lists()
+        G.add_edges_from(zip(r, c))
+        expected = nx.betweenness_centrality(G, normalized=False)
+        bc = betweenness_centrality(g)
+        for v in range(25):
+            assert bc.get(v, 0.0) == pytest.approx(expected[v], abs=1e-9)
+
+    def test_sampled_sources_subset(self, backend):
+        g = gb.generators.erdos_renyi_gnp(20, 0.2, seed=15)
+        bc = betweenness_centrality(g, sources=[0, 1, 2])
+        assert bc.size == 20  # runs without error, partial sums
+
+    def test_normalize(self, backend):
+        g = gb.generators.complete_graph(5)
+        bc = betweenness_centrality(g, normalize=True)
+        # No intermediate vertices on K5 shortest paths.
+        assert bc.nvals == 0 or max(bc.to_dense()) == 0.0
+
+    def test_weights_ignored(self, backend):
+        g1 = gb.generators.erdos_renyi_gnp(15, 0.25, seed=16, weighted=True)
+        pattern = gb.Matrix.sparse(gb.FP64, 15, 15)
+        from repro.core import operations as ops
+        from repro.core.operators import ONE
+
+        ops.apply(pattern, g1, ONE)
+        b1 = betweenness_centrality(g1)
+        b2 = betweenness_centrality(pattern)
+        np.testing.assert_allclose(b1.to_dense(), b2.to_dense())
+
+
+class TestMetrics:
+    def test_degrees(self, backend, small_graph):
+        outd = out_degrees(small_graph)
+        ind = in_degrees(small_graph)
+        assert outd.get(0) == 2 and outd.get(4) == 2
+        assert ind.get(5) == 2 and ind.get(0, 0) == 0
+
+    def test_density_and_counts(self, backend, small_graph):
+        assert edge_count(small_graph) == 8
+        assert graph_density(small_graph) == pytest.approx(8 / 30)
+        assert average_degree(small_graph) == pytest.approx(8 / 6)
+
+    def test_symmetry(self, backend, small_graph, undirected_graph):
+        assert not is_symmetric(small_graph)
+        assert is_symmetric(undirected_graph)
+
+    def test_eccentricity(self, backend):
+        g = gb.generators.path_graph(6)
+        assert vertex_eccentricity(g, 0) == 5
+        assert vertex_eccentricity(g, 3) == 3
+
+    def test_diameter(self, backend):
+        assert graph_diameter(gb.generators.path_graph(7)) == 6
+        assert graph_diameter(gb.generators.cycle_graph(8)) == 4
+
+    def test_diameter_sampled_is_lower_bound(self, backend):
+        g = gb.generators.path_graph(10)
+        assert graph_diameter(g, sample=3, seed=1) <= 9
+
+    def test_diameter_empty(self, backend):
+        assert graph_diameter(gb.Matrix.sparse(gb.FP64, 0, 0)) == 0

@@ -1,0 +1,115 @@
+"""Multi-source BFS and output-aliasing semantics of operations."""
+
+import numpy as np
+import pytest
+
+import repro as gb
+from repro.algorithms import bfs_levels, bfs_levels_multi
+from repro.core import operations as ops
+from repro.core.operators import PLUS
+from repro.core.semiring import LOR_LAND, PLUS_TIMES
+
+
+class TestMultiSourceBfs:
+    def test_matches_single_source(self, backend):
+        g = gb.generators.rmat(scale=6, edge_factor=6, seed=1)
+        sources = [0, 3, 12]
+        levels = bfs_levels_multi(g, sources)
+        assert levels.shape == (3, g.nrows)
+        for k, s in enumerate(sources):
+            single = bfs_levels(g, s)
+            got = {
+                j: levels.get(k, j)
+                for j in range(g.nrows)
+                if levels.get(k, j) is not None
+            }
+            expect = dict(zip(*single.to_lists()))
+            assert got == expect
+
+    def test_source_level_zero(self, backend):
+        g = gb.generators.path_graph(6)
+        levels = bfs_levels_multi(g, [2, 4])
+        assert levels.get(0, 2) == 0 and levels.get(1, 4) == 0
+
+    def test_empty_sources(self, backend):
+        g = gb.generators.path_graph(4)
+        levels = bfs_levels_multi(g, [])
+        assert levels.shape == (0, 4)
+
+    def test_duplicate_sources_rejected(self, backend):
+        g = gb.generators.path_graph(4)
+        with pytest.raises(gb.InvalidValueError):
+            bfs_levels_multi(g, [1, 1])
+
+    def test_source_out_of_range(self, backend):
+        g = gb.generators.path_graph(4)
+        with pytest.raises(gb.IndexOutOfBoundsError):
+            bfs_levels_multi(g, [9])
+
+    def test_disconnected_rows_independent(self, backend):
+        # Two components: each row only covers its own.
+        g = gb.Matrix.from_lists([0, 1, 2, 3], [1, 0, 3, 2], [1.0] * 4, 4, 4)
+        levels = bfs_levels_multi(g, [0, 2])
+        assert levels.get(0, 2) is None
+        assert levels.get(1, 0) is None
+        assert levels.get(0, 1) == 1 and levels.get(1, 3) == 1
+
+
+class TestOutputAliasing:
+    """GraphBLAS allows the output to alias an input; results must be as if
+    the input were fully read first."""
+
+    def test_vxm_in_place(self, backend):
+        a = gb.Matrix.from_dense(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        v = gb.Vector.from_lists([0], [2.0], 2)
+        expected = gb.Vector.sparse(gb.FP64, 2)
+        ops.vxm(expected, v, a, PLUS_TIMES)
+        ops.vxm(v, v, a, PLUS_TIMES)  # w aliases u
+        assert v == expected
+
+    def test_mxv_in_place(self, backend):
+        a = gb.Matrix.from_dense(np.array([[1.0, 1.0], [0.0, 1.0]]))
+        v = gb.Vector.from_dense(np.array([1.0, 2.0]))
+        expected = gb.Vector.sparse(gb.FP64, 2)
+        ops.mxv(expected, a, v, PLUS_TIMES)
+        ops.mxv(v, a, v, PLUS_TIMES)
+        assert v == expected
+
+    def test_ewise_out_aliases_lhs(self, backend):
+        u = gb.Vector.from_lists([0, 1], [1.0, 2.0], 3)
+        v = gb.Vector.from_lists([1, 2], [10.0, 20.0], 3)
+        expected = gb.Vector.sparse(gb.FP64, 3)
+        ops.ewise_add(expected, u, v, PLUS)
+        ops.ewise_add(u, u, v, PLUS)
+        assert u == expected
+
+    def test_ewise_both_operands_same(self, backend):
+        u = gb.Vector.from_lists([0], [3.0], 2)
+        ops.ewise_add(u, u, u, PLUS)
+        assert u.get(0) == 6.0
+
+    def test_mxm_squaring_in_place(self, backend):
+        a = gb.Matrix.from_dense(np.array([[0.0, 1.0], [1.0, 1.0]]))
+        expected = gb.Matrix.sparse(gb.FP64, 2, 2)
+        ops.mxm(expected, a, a, PLUS_TIMES)
+        ops.mxm(a, a, a, PLUS_TIMES)  # C aliases A and B
+        assert a == expected
+
+    def test_apply_in_place(self, backend):
+        from repro.core.operators import AINV
+
+        u = gb.Vector.from_lists([1], [5.0], 3)
+        ops.apply(u, u, AINV)
+        assert u.get(1) == -5.0
+
+    def test_transpose_in_place(self, backend):
+        a = gb.Matrix.from_lists([0], [1], [3.0], 2, 2)
+        ops.transpose(a, a)
+        assert a.get(1, 0) == 3.0 and a.get(0, 1) is None
+
+    def test_masked_in_place_with_self_mask(self, backend):
+        # w<w> = w + w: mask is the output and an input simultaneously.
+        u = gb.Vector.from_lists([0, 2], [1.0, 2.0], 3, gb.FP64)
+        mask = u
+        ops.ewise_add(u, u, u, PLUS, mask=mask)
+        assert u.to_lists() == ([0, 2], [2.0, 4.0])

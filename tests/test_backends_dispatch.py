@@ -1,0 +1,99 @@
+"""Backend registry, selection context, custom backend registration."""
+
+import threading
+
+import pytest
+
+import repro as gb
+from repro.backends.base import Backend
+from repro.backends.cpu.backend import CpuBackend
+from repro.backends.dispatch import (
+    available_backends,
+    current_backend,
+    get_backend,
+    register_backend,
+    set_default_backend,
+    use_backend,
+)
+
+
+class TestRegistry:
+    def test_builtins_available(self):
+        names = available_backends()
+        assert {"reference", "cpu", "cuda_sim"} <= set(names)
+
+    def test_get_backend_singleton(self):
+        assert get_backend("cpu") is get_backend("cpu")
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(KeyError):
+            get_backend("tpu")
+
+    def test_register_custom(self):
+        class MyBackend(CpuBackend):
+            name = "custom_test"
+
+        register_backend("custom_test", MyBackend)
+        assert get_backend("custom_test").name == "custom_test"
+        with use_backend("custom_test"):
+            assert current_backend().name == "custom_test"
+
+
+class TestSelection:
+    def test_default_is_cpu(self):
+        assert current_backend().name == "cpu"
+
+    def test_use_backend_context(self):
+        with use_backend("reference"):
+            assert current_backend().name == "reference"
+        assert current_backend().name == "cpu"
+
+    def test_nested_contexts(self):
+        with use_backend("reference"):
+            with use_backend("cuda_sim"):
+                assert current_backend().name == "cuda_sim"
+            assert current_backend().name == "reference"
+
+    def test_use_backend_instance(self):
+        inst = get_backend("reference")
+        with use_backend(inst):
+            assert current_backend() is inst
+
+    def test_context_restored_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with use_backend("reference"):
+                raise RuntimeError("boom")
+        assert current_backend().name == "cpu"
+
+    def test_set_default_backend(self):
+        set_default_backend("reference")
+        try:
+            assert current_backend().name == "reference"
+        finally:
+            set_default_backend("cpu")
+
+    def test_set_default_validates(self):
+        with pytest.raises(KeyError):
+            set_default_backend("nope")
+
+    def test_thread_local_override(self):
+        results = {}
+
+        def worker():
+            # Fresh thread: no override stack, sees the process default.
+            results["name"] = current_backend().name
+
+        with use_backend("reference"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert results["name"] == "cpu"
+
+
+class TestBackendABC:
+    def test_cannot_instantiate_abstract(self):
+        with pytest.raises(TypeError):
+            Backend()
+
+    def test_repr(self):
+        assert "cpu" in repr(get_backend("cpu"))

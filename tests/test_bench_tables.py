@@ -1,0 +1,75 @@
+"""Bench table/series rendering, ASCII charts, device presets."""
+
+import math
+
+import pytest
+
+from repro.bench.tables import ascii_chart, check_ordering, format_series, format_table
+from repro.gpu.device import K40, P100, V100
+
+
+class TestFormatTable:
+    def test_wide_cells_do_not_collide(self):
+        t = format_table("T", ["a", "b"], [["averyveryverylongcellvalue", 1]])
+        line = t.splitlines()[-1]
+        assert "averyveryverylongcellvalue" in line
+        assert line.endswith("1")
+        # Columns separated by at least one space.
+        assert "value 1" in line or "value  1" in line or line.split()[-1] == "1"
+
+    def test_float_formats(self):
+        t = format_table("T", ["x"], [[1.5], [3e-7], [2e6]])
+        assert "1.5000" in t
+        assert "3.000e-07" in t
+        assert "2.000e+06" in t
+
+    def test_empty_rows(self):
+        t = format_table("T", ["x"], [])
+        assert "T" in t
+
+
+class TestAsciiChart:
+    def test_log_scaling_monotone(self):
+        chart = ascii_chart([1, 2], {"s": [1e-5, 1e-2]})
+        lines = [l for l in chart.splitlines() if "|" in l]
+        assert lines[0].count("█") < lines[1].count("█")
+
+    def test_nan_and_nonpositive_skipped(self):
+        chart = ascii_chart([1, 2, 3], {"s": [float("nan"), 0.0, 1.0]})
+        assert chart.count("|") == 1
+
+    def test_empty_when_nothing_plottable(self):
+        assert ascii_chart([1], {"s": [float("nan")]}) == ""
+
+    def test_linear_mode(self):
+        chart = ascii_chart([1, 2], {"s": [1.0, 2.0]}, log=False)
+        assert "log" not in chart.splitlines()[0]
+
+    def test_series_appended_by_format_series(self):
+        out = format_series("F", "x", [1], {"s": [0.5]})
+        assert "█" in out
+
+    def test_chart_suppressible(self):
+        out = format_series("F", "x", [1], {"s": [0.5]}, chart=False)
+        assert "█" not in out
+
+
+class TestCheckOrdering:
+    def test_inf_fast_value_skipped(self):
+        # A zero-time "fast" entry cannot be compared; not a violation.
+        out = check_ordering({"fast": 0.0, "slow": 1.0}, ["fast"], "slow", 2.0)
+        assert out == []
+
+
+class TestDevicePresets:
+    def test_generations_monotone_bandwidth(self):
+        assert K40.mem_bandwidth_gbps < P100.mem_bandwidth_gbps < V100.mem_bandwidth_gbps
+
+    def test_peak_flops_grow(self):
+        assert K40.peak_gflops < P100.peak_gflops < V100.peak_gflops
+
+    def test_names(self):
+        assert P100.name == "SimP100" and V100.name == "SimV100"
+
+    def test_memory_capacity(self):
+        assert V100.global_mem_bytes > K40.global_mem_bytes

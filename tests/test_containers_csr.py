@@ -1,0 +1,149 @@
+"""CSRMatrix container: construction, canonical invariants, transforms."""
+
+import numpy as np
+import pytest
+
+from repro.containers.coo import COO
+from repro.containers.csr import CSRMatrix
+from repro.exceptions import (
+    IndexOutOfBoundsError,
+    InvalidObjectError,
+    InvalidValueError,
+)
+from repro.types import FP64, INT64
+
+
+@pytest.fixture
+def m():
+    # [[0, 1, 0], [2, 0, 3], [0, 0, 0], [4, 0, 0]]
+    return CSRMatrix.from_dense(
+        np.array([[0, 1, 0], [2, 0, 3], [0, 0, 0], [4, 0, 0]], dtype=np.float64)
+    )
+
+
+class TestConstruction:
+    def test_empty(self):
+        e = CSRMatrix.empty(3, 4, FP64)
+        assert e.shape == (3, 4) and e.nvals == 0
+        e.validate()
+
+    def test_empty_negative_dims_raise(self):
+        with pytest.raises(InvalidValueError):
+            CSRMatrix.empty(-1, 2, FP64)
+
+    def test_from_dense_roundtrip(self, m):
+        d = m.to_dense()
+        np.testing.assert_array_equal(
+            d, [[0, 1, 0], [2, 0, 3], [0, 0, 0], [4, 0, 0]]
+        )
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(InvalidValueError):
+            CSRMatrix.from_dense(np.zeros(3))
+
+    def test_from_coo(self):
+        coo = COO(2, 2, [0, 1], [1, 0], [5.0, 6.0])
+        m = CSRMatrix.from_coo(coo)
+        assert m.get(0, 1) == 5.0 and m.get(1, 0) == 6.0
+        m.validate()
+
+    def test_type_inferred_from_values(self, m):
+        assert m.type is FP64
+
+
+class TestAccess:
+    def test_nvals_shape(self, m):
+        assert m.nvals == 4
+        assert m.shape == (4, 3)
+
+    def test_row(self, m):
+        idx, vals = m.row(1)
+        np.testing.assert_array_equal(idx, [0, 2])
+        np.testing.assert_array_equal(vals, [2.0, 3.0])
+
+    def test_row_empty(self, m):
+        idx, vals = m.row(2)
+        assert idx.size == 0 and vals.size == 0
+
+    def test_row_out_of_bounds(self, m):
+        with pytest.raises(IndexOutOfBoundsError):
+            m.row(4)
+
+    def test_get(self, m):
+        assert m.get(1, 2) == 3.0
+        assert m.get(1, 1) is None
+
+    def test_get_out_of_bounds(self, m):
+        with pytest.raises(IndexOutOfBoundsError):
+            m.get(0, 3)
+        with pytest.raises(IndexOutOfBoundsError):
+            m.get(-1, 0)
+
+    def test_row_degrees(self, m):
+        np.testing.assert_array_equal(m.row_degrees(), [1, 2, 0, 1])
+
+    def test_iter_triplets_row_major(self, m):
+        trips = list(m.iter_triplets())
+        assert trips == [(0, 1, 1.0), (1, 0, 2.0), (1, 2, 3.0), (3, 0, 4.0)]
+
+    def test_nbytes_positive(self, m):
+        assert m.nbytes > 0
+
+
+class TestTransforms:
+    def test_transpose_values(self, m):
+        t = m.transpose()
+        assert t.shape == (3, 4)
+        np.testing.assert_array_equal(t.to_dense(), m.to_dense().T)
+        t.validate()
+
+    def test_double_transpose_identity(self, m):
+        tt = m.transpose().transpose()
+        np.testing.assert_array_equal(tt.to_dense(), m.to_dense())
+
+    def test_transpose_empty(self):
+        t = CSRMatrix.empty(2, 5, FP64).transpose()
+        assert t.shape == (5, 2) and t.nvals == 0
+
+    def test_to_coo_roundtrip(self, m):
+        rt = CSRMatrix.from_coo(m.to_coo())
+        np.testing.assert_array_equal(rt.to_dense(), m.to_dense())
+
+    def test_copy_independent(self, m):
+        c = m.copy()
+        c.values[0] = 99.0
+        assert m.values[0] != 99.0
+
+    def test_astype(self, m):
+        i = m.astype(INT64)
+        assert i.type is INT64
+        assert i.values.dtype == np.int64
+
+    def test_astype_same_type_is_noop(self, m):
+        assert m.astype(FP64) is m
+
+    def test_to_dense_custom_fill(self, m):
+        d = m.to_dense(fill=-1)
+        assert d[0, 0] == -1
+
+
+class TestValidation:
+    def test_validate_catches_bad_indptr(self, m):
+        m.indptr[1] = 99
+        with pytest.raises(InvalidObjectError):
+            m.validate()
+
+    def test_validate_catches_unsorted_columns(self):
+        bad = CSRMatrix(1, 3, [0, 2], [2, 0], [1.0, 2.0])
+        with pytest.raises(InvalidObjectError):
+            bad.validate()
+
+    def test_validate_catches_out_of_range_column(self):
+        bad = CSRMatrix(1, 2, [0, 1], [5], [1.0])
+        with pytest.raises(InvalidObjectError):
+            bad.validate()
+
+    def test_validate_catches_length_mismatch(self):
+        bad = CSRMatrix(1, 3, [0, 2], [0, 1], [1.0])
+        with pytest.raises(InvalidObjectError):
+            bad.validate()

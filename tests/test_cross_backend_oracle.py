@@ -1,0 +1,258 @@
+"""Cross-backend oracle: cpu and cuda_sim must match reference bit-for-bit.
+
+Randomised operation-level comparisons over many seeds and several
+semirings — the test that guards GBTL's core claim (same answer on every
+backend).
+"""
+
+import numpy as np
+import pytest
+
+import repro as gb
+from repro.backends.dispatch import use_backend
+from repro.core import operations as ops
+from repro.core.monoid import MAX_MONOID, MIN_MONOID, PLUS_MONOID
+from repro.core.operators import MAX, MIN, PLUS, TIMES
+from repro.core.semiring import (
+    LOR_LAND,
+    MAX_SECOND,
+    MIN_FIRST,
+    MIN_PLUS,
+    PLUS_PAIR,
+    PLUS_TIMES,
+)
+
+from .conftest import random_dense_matrix, random_dense_vector
+
+SEMIRINGS = [PLUS_TIMES, MIN_PLUS, LOR_LAND, MIN_FIRST, MAX_SECOND, PLUS_PAIR]
+FAST_BACKENDS = ["cpu", "cuda_sim"]
+
+
+def run_on(backend_name, fn):
+    with use_backend(backend_name):
+        return fn()
+
+
+# Semirings whose additive reduction is a float sum are only reproducible to
+# rounding (reduceat's association differs from a sequential fold); all other
+# standard semirings (MIN/MAX/LOR/FIRST/...) select stored values and must
+# match bit-for-bit.
+INEXACT = {"PLUS_TIMES"}
+
+
+def assert_same(got, expected, exact=True):
+    if exact:
+        assert got == expected
+        return
+    if isinstance(got, gb.Vector):
+        np.testing.assert_array_equal(got.indices_array(), expected.indices_array())
+        np.testing.assert_allclose(got.values_array(), expected.values_array(), rtol=1e-12)
+    elif isinstance(got, gb.Matrix):
+        assert got.shape == expected.shape
+        gc, ec = got.container, expected.container
+        np.testing.assert_array_equal(gc.indptr, ec.indptr)
+        np.testing.assert_array_equal(gc.indices, ec.indices)
+        np.testing.assert_allclose(gc.values, ec.values, rtol=1e-12)
+    else:
+        np.testing.assert_allclose(got, expected, rtol=1e-12)
+
+
+@pytest.mark.parametrize("semiring", SEMIRINGS, ids=lambda s: s.name)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+class TestProductsMatchReference:
+    def test_mxv(self, semiring, seed):
+        rng = np.random.default_rng(seed)
+        A = random_dense_matrix(rng, 12, 10, density=0.35)
+        u = random_dense_vector(rng, 10, density=0.5)
+        a, v = gb.Matrix.from_dense(A), gb.Vector.from_dense(u)
+
+        def go():
+            w = gb.Vector.sparse(gb.FP64, 12)
+            return ops.mxv(w, a, v, semiring)
+
+        expected = run_on("reference", go)
+        for b in FAST_BACKENDS:
+            got = run_on(b, go)
+            assert_same(got, expected, exact=semiring.name not in INEXACT)
+
+    def test_vxm(self, semiring, seed):
+        rng = np.random.default_rng(seed + 100)
+        A = random_dense_matrix(rng, 10, 12, density=0.35)
+        u = random_dense_vector(rng, 10, density=0.5)
+        a, v = gb.Matrix.from_dense(A), gb.Vector.from_dense(u)
+
+        def go():
+            w = gb.Vector.sparse(gb.FP64, 12)
+            return ops.vxm(w, v, a, semiring)
+
+        expected = run_on("reference", go)
+        for b in FAST_BACKENDS:
+            assert_same(run_on(b, go), expected, exact=semiring.name not in INEXACT)
+
+    def test_mxm(self, semiring, seed):
+        rng = np.random.default_rng(seed + 200)
+        A = random_dense_matrix(rng, 8, 9, density=0.3)
+        B = random_dense_matrix(rng, 9, 7, density=0.3)
+        a, b_ = gb.Matrix.from_dense(A), gb.Matrix.from_dense(B)
+
+        def go():
+            c = gb.Matrix.sparse(gb.FP64, 8, 7)
+            return ops.mxm(c, a, b_, semiring)
+
+        expected = run_on("reference", go)
+        for b in FAST_BACKENDS:
+            assert_same(run_on(b, go), expected, exact=semiring.name not in INEXACT)
+
+
+@pytest.mark.parametrize("op", [PLUS, MIN, MAX, TIMES], ids=lambda o: o.name)
+@pytest.mark.parametrize("seed", [0, 1])
+class TestEwiseMatchReference:
+    def test_vector_add_mult(self, op, seed):
+        rng = np.random.default_rng(seed + 300)
+        u = gb.Vector.from_dense(random_dense_vector(rng, 30, density=0.4))
+        v = gb.Vector.from_dense(random_dense_vector(rng, 30, density=0.4))
+
+        def go_add():
+            w = gb.Vector.sparse(gb.FP64, 30)
+            return ops.ewise_add(w, u, v, op)
+
+        def go_mult():
+            w = gb.Vector.sparse(gb.FP64, 30)
+            return ops.ewise_mult(w, u, v, op)
+
+        for go in (go_add, go_mult):
+            expected = run_on("reference", go)
+            for b in FAST_BACKENDS:
+                assert run_on(b, go) == expected
+
+    def test_matrix_add_mult(self, op, seed):
+        rng = np.random.default_rng(seed + 400)
+        a = gb.Matrix.from_dense(random_dense_matrix(rng, 9, 8, density=0.3))
+        b_ = gb.Matrix.from_dense(random_dense_matrix(rng, 9, 8, density=0.3))
+
+        def go_add():
+            c = gb.Matrix.sparse(gb.FP64, 9, 8)
+            return ops.ewise_add(c, a, b_, op)
+
+        def go_mult():
+            c = gb.Matrix.sparse(gb.FP64, 9, 8)
+            return ops.ewise_mult(c, a, b_, op)
+
+        for go in (go_add, go_mult):
+            expected = run_on("reference", go)
+            for b in FAST_BACKENDS:
+                assert run_on(b, go) == expected
+
+
+@pytest.mark.parametrize("monoid", [PLUS_MONOID, MIN_MONOID, MAX_MONOID], ids=lambda m: m.name)
+class TestReduceMatchReference:
+    def test_vector_scalar(self, monoid):
+        rng = np.random.default_rng(7)
+        u = gb.Vector.from_dense(random_dense_vector(rng, 40))
+
+        def go():
+            return ops.reduce(u, monoid)
+
+        expected = run_on("reference", go)
+        for b in FAST_BACKENDS:
+            assert_same(run_on(b, go), expected, exact=monoid.name != "PLUS_MONOID")
+
+    def test_matrix_rows(self, monoid):
+        rng = np.random.default_rng(8)
+        a = gb.Matrix.from_dense(random_dense_matrix(rng, 12, 9, density=0.3))
+
+        def go():
+            w = gb.Vector.sparse(gb.FP64, 12)
+            return ops.reduce_to_vector(w, a, monoid)
+
+        expected = run_on("reference", go)
+        for b in FAST_BACKENDS:
+            assert_same(run_on(b, go), expected, exact=monoid.name != "PLUS_MONOID")
+
+
+class TestMaskedOpsMatchReference:
+    """Mask pruning in fast backends must not change results."""
+
+    @pytest.mark.parametrize("desc", [
+        gb.DEFAULT,
+        gb.STRUCTURE_MASK,
+        gb.COMP_MASK,
+        gb.REPLACE,
+        gb.COMP_STRUCTURE_MASK,
+    ], ids=str)
+    def test_masked_mxv(self, desc):
+        rng = np.random.default_rng(9)
+        a = gb.Matrix.from_dense(random_dense_matrix(rng, 15, 15, density=0.3))
+        u = gb.Vector.from_dense(random_dense_vector(rng, 15, density=0.4))
+        midx = rng.choice(15, size=6, replace=False)
+        mask = gb.Vector.from_lists(
+            np.sort(midx), rng.random(6) > 0.4, 15, gb.BOOL
+        )
+
+        def go():
+            w = gb.Vector.from_lists([1, 2], [100.0, 200.0], 15)
+            return ops.mxv(w, a, u, PLUS_TIMES, mask=mask, desc=desc)
+
+        expected = run_on("reference", go)
+        for b in FAST_BACKENDS:
+            assert run_on(b, go) == expected, f"{b} with {desc}"
+
+    @pytest.mark.parametrize("direction", ["push", "pull", "auto"])
+    def test_masked_directions(self, direction):
+        rng = np.random.default_rng(10)
+        a = gb.Matrix.from_dense(random_dense_matrix(rng, 20, 20, density=0.2))
+        u = gb.Vector.from_dense(random_dense_vector(rng, 20, density=0.2))
+        mask = gb.Vector.from_lists([0, 5, 10], [True] * 3, 20, gb.BOOL)
+
+        def go():
+            w = gb.Vector.sparse(gb.FP64, 20)
+            return ops.mxv(w, a, u, MIN_PLUS, mask=mask, direction=direction)
+
+        expected = run_on("reference", go)
+        for b in FAST_BACKENDS:
+            assert run_on(b, go) == expected
+
+
+class TestAlgorithmsMatchAcrossBackends:
+    """End-to-end: whole algorithms agree across backends."""
+
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return gb.generators.rmat(scale=7, edge_factor=6, seed=11, weighted=True)
+
+    def test_bfs(self, graph):
+        expected = run_on("reference", lambda: gb.algorithms.bfs_levels(graph, 0))
+        for b in FAST_BACKENDS:
+            assert run_on(b, lambda: gb.algorithms.bfs_levels(graph, 0)) == expected
+
+    def test_sssp(self, graph):
+        expected = run_on("reference", lambda: gb.algorithms.sssp(graph, 0))
+        for b in FAST_BACKENDS:
+            assert run_on(b, lambda: gb.algorithms.sssp(graph, 0)) == expected
+
+    def test_triangle_count(self, graph):
+        expected = run_on("reference", lambda: gb.algorithms.triangle_count(graph))
+        for b in FAST_BACKENDS:
+            assert run_on(b, lambda: gb.algorithms.triangle_count(graph)) == expected
+
+    def test_connected_components(self, graph):
+        expected = run_on(
+            "reference", lambda: gb.algorithms.connected_components(graph)
+        )
+        for b in FAST_BACKENDS:
+            assert (
+                run_on(b, lambda: gb.algorithms.connected_components(graph))
+                == expected
+            )
+
+    def test_pagerank_close(self, graph):
+        # PageRank accumulates float rounding differently per backend's
+        # reduction order; compare with tolerance instead of bit equality.
+        expected = run_on(
+            "reference", lambda: gb.algorithms.pagerank(graph, max_iter=30)
+        )
+        for b in FAST_BACKENDS:
+            got = run_on(b, lambda: gb.algorithms.pagerank(graph, max_iter=30))
+            np.testing.assert_allclose(
+                got.to_dense(), expected.to_dense(), atol=1e-10
+            )

@@ -1,0 +1,120 @@
+"""cuda_sim accounting for select, indexed apply, extract, assign, and the
+masked SpGEMM kernel — the later additions to the device kernel set."""
+
+import numpy as np
+import pytest
+
+import repro as gb
+from repro.backends.dispatch import get_backend, use_backend
+from repro.core import operations as ops
+from repro.core.assign import assign_scalar
+from repro.core.descriptor import STRUCTURE_MASK
+from repro.core.operators import ROWINDEX, TRIL, VALUEGT
+from repro.core.semiring import PLUS_PAIR
+from repro.gpu.device import get_device, reset_device
+
+
+@pytest.fixture(autouse=True)
+def fresh_device():
+    reset_device()
+    get_backend("cuda_sim").evict_all()
+    yield
+    reset_device()
+    get_backend("cuda_sim").evict_all()
+
+
+def kernel_names():
+    return {r.name for r in get_device().profiler.records if r.kind == "kernel"}
+
+
+class TestSelectAccounting:
+    def test_select_vector_launches_kernel(self):
+        u = gb.Vector.from_dense(np.arange(64, dtype=float))
+        with use_backend("cuda_sim"):
+            w = gb.Vector.sparse(gb.FP64, 64)
+            ops.select(w, u, VALUEGT, thunk=10.0)
+        assert "select_compact" in kernel_names()
+        assert w.nvals == 53
+
+    def test_select_matrix_launches_kernel(self):
+        a = gb.Matrix.from_dense(np.ones((8, 8)))
+        with use_backend("cuda_sim"):
+            c = gb.Matrix.sparse(gb.FP64, 8, 8)
+            ops.select(c, a, TRIL, thunk=-1)
+        assert "select_compact" in kernel_names()
+
+    def test_indexed_apply_launches_kernel(self):
+        u = gb.Vector.from_lists([3, 7], [1.0, 1.0], 10)
+        with use_backend("cuda_sim"):
+            w = gb.Vector.sparse(gb.INT64, 10)
+            ops.apply(w, u, ROWINDEX, thunk=0)
+        assert "select_compact" in kernel_names()
+        assert w.to_lists() == ([3, 7], [3, 7])
+
+    def test_select_time_scales_with_nvals(self):
+        def sim(n):
+            reset_device()
+            get_backend("cuda_sim").evict_all()
+            u = gb.Vector.from_dense(np.arange(n, dtype=float) + 1)
+            with use_backend("cuda_sim"):
+                w = gb.Vector.sparse(gb.FP64, n)
+                ops.select(w, u, VALUEGT, thunk=0.0)
+            return get_device().profiler.kernel_time_us
+
+        assert sim(1 << 16) > sim(1 << 8)
+
+
+class TestMaskedSpgemmAccounting:
+    def test_masked_kernel_used_and_cheaper(self):
+        g = gb.generators.rmat(scale=9, edge_factor=12, seed=2)
+        from repro.algorithms.triangles import lower_triangle
+
+        l = lower_triangle(g)
+
+        def sim(masked):
+            reset_device()
+            get_backend("cuda_sim").evict_all()
+            with use_backend("cuda_sim"):
+                c = gb.Matrix.sparse(gb.INT64, g.nrows, g.ncols)
+                if masked:
+                    ops.mxm(c, l, l, PLUS_PAIR, mask=l, desc=STRUCTURE_MASK)
+                else:
+                    ops.mxm(c, l, l, PLUS_PAIR)
+            names = kernel_names()
+            return get_device().profiler.kernel_time_us, names
+
+        t_masked, names_m = sim(True)
+        t_full, names_f = sim(False)
+        assert "spgemm_hash_masked" in names_m
+        assert "spgemm_hash" in names_f and "spgemm_hash_masked" not in names_f
+        assert t_masked < t_full
+
+    def test_complement_mask_falls_back_to_full(self):
+        a = gb.Matrix.from_dense(np.ones((6, 6)))
+        mask = gb.Matrix.from_lists([0], [0], [True], 6, 6, gb.BOOL)
+        with use_backend("cuda_sim"):
+            c = gb.Matrix.sparse(gb.FP64, 6, 6)
+            ops.mxm(c, a, a, gb.SEMIRINGS["PLUS_TIMES"], mask=mask, desc=gb.COMP_MASK)
+        assert "spgemm_hash" in kernel_names()
+
+
+class TestAssignExtractAccounting:
+    def test_assign_scatter_charged(self):
+        w = gb.Vector.sparse(gb.FP64, 100)
+        with use_backend("cuda_sim"):
+            assign_scalar(w, 1.0, indices=np.arange(50))
+        assert "scatter_assign" in kernel_names()
+
+    def test_extract_gather_charged(self):
+        u = gb.Vector.full(1.0, 100)
+        with use_backend("cuda_sim"):
+            w = gb.Vector.sparse(gb.FP64, 10)
+            ops.extract(w, u, np.arange(10))
+        assert "gather_extract" in kernel_names()
+
+    def test_real_backends_unaffected_by_charge_hooks(self):
+        # charge_assign is a no-op outside cuda_sim: no device records.
+        w = gb.Vector.sparse(gb.FP64, 10)
+        with use_backend("cpu"):
+            assign_scalar(w, 1.0, indices=[0, 1])
+        assert not get_device().profiler.records

@@ -1,0 +1,97 @@
+"""Error hierarchy and descriptor semantics."""
+
+import pytest
+
+import repro as gb
+from repro import exceptions as ex
+from repro.core.descriptor import (
+    COMP_MASK,
+    DEFAULT,
+    Descriptor,
+    REPLACE,
+    STRUCTURE_MASK,
+    TRANSPOSE_A,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_graphblas_error(self):
+        for cls in (
+            ex.ApiError,
+            ex.ExecutionError,
+            ex.DimensionMismatchError,
+            ex.IndexOutOfBoundsError,
+            ex.DomainMismatchError,
+            ex.EmptyObjectError,
+            ex.InvalidValueError,
+            ex.InvalidObjectError,
+            ex.OutputNotEmptyError,
+            ex.NotImplementedInBackendError,
+            ex.BackendError,
+            ex.DeviceError,
+            ex.DeviceOutOfMemoryError,
+            ex.InvalidLaunchError,
+        ):
+            assert issubclass(cls, ex.GraphBLASError)
+
+    def test_api_vs_execution_split(self):
+        assert issubclass(ex.DimensionMismatchError, ex.ApiError)
+        assert issubclass(ex.DeviceError, ex.ExecutionError)
+        assert not issubclass(ex.DeviceError, ex.ApiError)
+
+    def test_pythonic_aliases(self):
+        # Callers catching builtin exceptions keep working.
+        assert issubclass(ex.IndexOutOfBoundsError, IndexError)
+        assert issubclass(ex.InvalidValueError, ValueError)
+        assert issubclass(ex.DomainMismatchError, TypeError)
+        assert issubclass(ex.NotImplementedInBackendError, NotImplementedError)
+        assert issubclass(ex.InvalidLaunchError, ValueError)
+
+    def test_dimension_mismatch_detail(self):
+        e = ex.DimensionMismatchError("inner dim", expected=3, actual=4)
+        assert "3" in str(e) and "4" in str(e)
+        assert e.expected == 3 and e.actual == 4
+
+    def test_oom_payload(self):
+        e = ex.DeviceOutOfMemoryError(1000, 10)
+        assert e.requested == 1000 and e.free == 10
+        assert "1000" in str(e)
+
+    def test_catchable_from_package_root(self):
+        with pytest.raises(gb.GraphBLASError):
+            gb.Vector.sparse(gb.FP64, 3).set_element(5, 1.0)
+
+
+class TestDescriptor:
+    def test_default_flags(self):
+        assert not DEFAULT.transpose_a
+        assert not DEFAULT.replace
+        assert not DEFAULT.complement_mask
+        assert not DEFAULT.structural_mask
+
+    def test_constants(self):
+        assert REPLACE.replace
+        assert TRANSPOSE_A.transpose_a and not TRANSPOSE_A.transpose_b
+        assert COMP_MASK.complement_mask
+        assert STRUCTURE_MASK.structural_mask
+
+    def test_with_derives_without_mutation(self):
+        d = DEFAULT.with_(replace=True)
+        assert d.replace and not DEFAULT.replace
+
+    def test_immutable(self):
+        with pytest.raises(Exception):
+            DEFAULT.replace = True
+
+    def test_equality_and_hash(self):
+        assert Descriptor(replace=True) == REPLACE
+        assert hash(Descriptor()) == hash(DEFAULT)
+
+    def test_repr_lists_flags(self):
+        assert "default" in repr(DEFAULT)
+        r = repr(Descriptor(replace=True, complement_mask=True))
+        assert "replace" in r and "comp" in r
+
+    def test_compose_flags(self):
+        d = Descriptor(transpose_a=True).with_(complement_mask=True)
+        assert d.transpose_a and d.complement_mask

@@ -1,0 +1,201 @@
+"""Graph generators: structure, determinism, statistical shape."""
+
+import numpy as np
+import pytest
+
+import repro as gb
+from repro.algorithms import is_symmetric, out_degrees
+from repro.generators import (
+    barabasi_albert,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_gnm,
+    erdos_renyi_gnp,
+    grid_2d,
+    path_graph,
+    rmat,
+    rmat_edges,
+    star_graph,
+    torus_2d,
+    watts_strogatz,
+)
+
+
+class TestRmat:
+    def test_vertex_count(self):
+        g = rmat(scale=8, edge_factor=4, seed=0)
+        assert g.nrows == 256 and g.ncols == 256
+
+    def test_deterministic(self):
+        assert rmat(scale=6, edge_factor=4, seed=3) == rmat(scale=6, edge_factor=4, seed=3)
+
+    def test_different_seeds_differ(self):
+        assert rmat(scale=6, edge_factor=4, seed=3) != rmat(scale=6, edge_factor=4, seed=4)
+
+    def test_no_self_loops(self):
+        g = rmat(scale=6, edge_factor=8, seed=1)
+        r, c, _ = g.to_lists()
+        assert all(i != j for i, j in zip(r, c))
+
+    def test_undirected_by_default(self):
+        assert is_symmetric(rmat(scale=6, edge_factor=4, seed=2))
+
+    def test_directed_option(self):
+        g = rmat(scale=6, edge_factor=4, seed=2, directed=True)
+        assert not is_symmetric(g)
+
+    def test_weighted_symmetric_weights(self):
+        g = rmat(scale=6, edge_factor=4, seed=2, weighted=True)
+        r, c, v = g.to_lists()
+        for i, j, w in zip(r, c, v):
+            assert g.get(j, i) == w
+
+    def test_degree_skew(self):
+        # R-MAT with Graph500 params is much more skewed than ER.
+        g = rmat(scale=9, edge_factor=8, seed=5)
+        e = erdos_renyi_gnp(512, g.nvals / (512 * 511), seed=5)
+        d_r = out_degrees(g).to_dense(0).astype(float)
+        d_e = e.row_degrees().astype(float)
+        assert d_r.max() / max(d_r.mean(), 1) > d_e.max() / max(d_e.mean(), 1)
+
+    def test_invalid_probs(self):
+        with pytest.raises(gb.InvalidValueError):
+            rmat_edges(4, a=0.9, b=0.9, c=0.9)
+
+    def test_negative_scale(self):
+        with pytest.raises(gb.InvalidValueError):
+            rmat_edges(-1)
+
+    def test_raw_edges_count(self):
+        r, c = rmat_edges(5, edge_factor=3, seed=0)
+        assert r.size == 3 * 32 == c.size
+
+
+class TestErdosRenyi:
+    def test_gnp_edge_count_in_expectation(self):
+        n, p = 300, 0.05
+        g = erdos_renyi_gnp(n, p, seed=0)
+        expected = n * (n - 1) / 2 * p * 2  # symmetric storage
+        assert 0.6 * expected < g.nvals < 1.4 * expected
+
+    def test_gnp_p_zero_empty(self):
+        assert erdos_renyi_gnp(50, 0.0, seed=0).nvals == 0
+
+    def test_gnp_invalid_p(self):
+        with pytest.raises(gb.InvalidValueError):
+            erdos_renyi_gnp(10, 1.5)
+
+    def test_gnm(self):
+        g = erdos_renyi_gnm(100, 200, seed=1)
+        # Duplicates/self-loops collapse, so <= 2*200 stored.
+        assert 0 < g.nvals <= 400
+        assert is_symmetric(g)
+
+    def test_directed(self):
+        g = erdos_renyi_gnp(60, 0.1, seed=2, directed=True)
+        assert not is_symmetric(g)
+
+    def test_deterministic(self):
+        assert erdos_renyi_gnp(40, 0.1, seed=7) == erdos_renyi_gnp(40, 0.1, seed=7)
+
+
+class TestRegular:
+    def test_path(self):
+        g = path_graph(5)
+        assert g.nvals == 8  # 4 undirected edges
+        assert g.get(0, 1) == 1.0 and g.get(1, 0) == 1.0
+
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert g.nvals == 10
+        assert g.get(4, 0) is not None
+
+    def test_cycle_small_degenerates_to_path(self):
+        assert cycle_graph(2).nvals == 2
+
+    def test_grid_degrees(self):
+        g = grid_2d(3, 3)
+        deg = g.row_degrees()
+        assert deg[4] == 4  # center
+        assert deg[0] == 2  # corner
+        assert g.nvals == 2 * 12
+
+    def test_torus_uniform_degree(self):
+        g = torus_2d(4, 4)
+        assert np.all(g.row_degrees() == 4)
+
+    def test_complete(self):
+        g = complete_graph(5)
+        assert g.nvals == 20
+        assert np.all(g.row_degrees() == 4)
+
+    def test_star(self):
+        g = star_graph(6)
+        assert g.row_degrees()[0] == 5
+        assert g.nvals == 10
+
+    def test_trivial_sizes(self):
+        assert path_graph(0).nvals == 0
+        assert path_graph(1).nvals == 0
+        assert complete_graph(1).nvals == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(gb.InvalidValueError):
+            path_graph(-1)
+        with pytest.raises(gb.InvalidValueError):
+            grid_2d(-1, 3)
+
+
+class TestWattsStrogatz:
+    def test_no_rewire_is_ring_lattice(self):
+        g = watts_strogatz(20, 4, 0.0, seed=0)
+        assert np.all(g.row_degrees() == 4)
+
+    def test_rewire_preserves_edge_budget_roughly(self):
+        g = watts_strogatz(50, 4, 0.5, seed=1)
+        # Rewiring can create duplicates that collapse, so <= n*k.
+        assert 0.8 * 50 * 4 <= g.nvals <= 50 * 4
+
+    def test_validation(self):
+        with pytest.raises(gb.InvalidValueError):
+            watts_strogatz(10, 3, 0.1)  # odd k
+        with pytest.raises(gb.InvalidValueError):
+            watts_strogatz(4, 4, 0.1)  # n <= k
+        with pytest.raises(gb.InvalidValueError):
+            watts_strogatz(10, 2, 1.5)  # bad p
+
+    def test_symmetric(self):
+        assert is_symmetric(watts_strogatz(30, 4, 0.3, seed=2))
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        g = barabasi_albert(50, 2, seed=0)
+        # (n - m) arrivals × m edges, stored symmetric; collisions collapse.
+        assert g.nvals <= 2 * (50 - 2) * 2
+        assert g.nvals >= 2 * (50 - 2) * 2 * 0.8
+
+    def test_hub_formation(self):
+        g = barabasi_albert(200, 2, seed=1)
+        deg = g.row_degrees()
+        assert deg.max() > 4 * deg.mean()
+
+    def test_validation(self):
+        with pytest.raises(gb.InvalidValueError):
+            barabasi_albert(5, 0)
+        with pytest.raises(gb.InvalidValueError):
+            barabasi_albert(3, 3)
+
+    def test_deterministic(self):
+        assert barabasi_albert(40, 2, seed=9) == barabasi_albert(40, 2, seed=9)
+
+
+class TestWeights:
+    def test_weight_range(self):
+        g = rmat(scale=7, edge_factor=4, seed=3, weighted=True)
+        v = np.asarray(g.to_lists()[2])
+        assert v.min() >= 1.0 and v.max() < 256.0
+
+    def test_unweighted_all_ones(self):
+        g = path_graph(10)
+        assert set(g.to_lists()[2]) == {1.0}

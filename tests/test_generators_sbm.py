@@ -1,0 +1,68 @@
+"""Stochastic block model generator."""
+
+import numpy as np
+import pytest
+
+import repro as gb
+from repro.algorithms import is_symmetric, label_propagation, modularity
+from repro.generators import stochastic_block_model
+
+
+class TestSBM:
+    def test_vertex_count_and_symmetry(self):
+        g = stochastic_block_model([10, 20, 5], 0.4, 0.05, seed=0)
+        assert g.nrows == 35
+        assert is_symmetric(g)
+
+    def test_intra_denser_than_inter(self):
+        g = stochastic_block_model([30, 30], 0.4, 0.02, seed=1)
+        cc = g.container
+        rows = np.repeat(np.arange(60, dtype=np.int64), cc.row_degrees())
+        same_block = (rows < 30) == (cc.indices < 30)
+        intra = np.count_nonzero(same_block)
+        inter = np.count_nonzero(~same_block)
+        assert intra > 3 * inter
+
+    def test_p_zero_gives_disconnected_blocks(self):
+        g = stochastic_block_model([15, 15], 0.5, 0.0, seed=2)
+        assert gb.algorithms.component_count(g) >= 2
+
+    def test_p_one_intra_complete(self):
+        g = stochastic_block_model([6, 6], 1.0, 0.0, seed=3)
+        # Each block becomes a clique: 2 * C(6,2) per block stored entries.
+        assert g.nvals == 2 * (15 + 15)
+
+    def test_deterministic(self):
+        a = stochastic_block_model([10, 10], 0.3, 0.05, seed=9)
+        b = stochastic_block_model([10, 10], 0.3, 0.05, seed=9)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(gb.InvalidValueError):
+            stochastic_block_model([10], 1.5, 0.1)
+        with pytest.raises(gb.InvalidValueError):
+            stochastic_block_model([10], 0.5, -0.1)
+        with pytest.raises(gb.InvalidValueError):
+            stochastic_block_model([-5], 0.5, 0.1)
+
+    def test_empty_blocks(self):
+        g = stochastic_block_model([], 0.5, 0.5, seed=0)
+        assert g.nrows == 0
+
+    def test_lpa_recovers_planted_partition(self):
+        g = stochastic_block_model([25, 25, 25], 0.5, 0.01, seed=4)
+        labels = label_propagation(g)
+        lv = labels.to_dense(-1)
+        # Each planted block should map to (at most a couple of) labels and
+        # the split should have high modularity.
+        assert modularity(g, labels) > 0.4
+        for b in range(3):
+            block = lv[b * 25 : (b + 1) * 25]
+            # Dominant label covers most of the block.
+            _, counts = np.unique(block, return_counts=True)
+            assert counts.max() >= 20
+
+    def test_weighted(self):
+        g = stochastic_block_model([10, 10], 0.4, 0.1, seed=5, weighted=True)
+        vals = np.asarray(g.to_lists()[2])
+        assert vals.min() >= 1.0 and vals.max() < 256.0

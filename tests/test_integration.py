@@ -1,0 +1,199 @@
+"""End-to-end integration: load → analyse → save pipelines, device limits,
+multi-backend workflows, and the bench substrate."""
+
+import io
+
+import numpy as np
+import pytest
+
+import repro as gb
+from repro.backends.dispatch import get_backend, use_backend
+from repro.bench.harness import simulated_gpu_time, time_operation
+from repro.bench.tables import check_ordering, format_series, format_table, speedup
+from repro.bench.workloads import WORKLOADS, get_workload, random_frontier
+from repro.core import operations as ops
+from repro.core.semiring import PLUS_TIMES
+from repro.gpu.device import Device, DeviceProperties, get_device, reset_device, set_device
+
+
+class TestFullPipeline:
+    def test_generate_analyse_roundtrip(self, tmp_path):
+        """Generate → write → read → analyse → identical results."""
+        g = gb.generators.watts_strogatz(60, 4, 0.2, seed=1, weighted=True)
+        path = tmp_path / "graph.mtx"
+        gb.io.write_matrix_market(g, path)
+        g2 = gb.io.read_matrix_market(path)
+        assert g2 == g
+        assert gb.algorithms.triangle_count(g2) == gb.algorithms.triangle_count(g)
+        assert gb.algorithms.sssp(g2, 0) == gb.algorithms.sssp(g, 0)
+
+    def test_edgelist_pipeline(self, tmp_path):
+        g = gb.generators.barabasi_albert(50, 2, seed=2)
+        path = tmp_path / "graph.tsv"
+        gb.io.write_edgelist(g, path)
+        g2 = gb.io.read_edgelist(path, n=50)
+        assert g2 == g
+
+    def test_multi_algorithm_consistency(self):
+        """Cross-algorithm invariants on one graph."""
+        g = gb.generators.erdos_renyi_gnp(40, 0.1, seed=9, weighted=True)
+        levels = gb.algorithms.bfs_levels(g, 0)
+        dist = gb.algorithms.sssp(g, 0)
+        comps = gb.algorithms.connected_components(g)
+        # Reachable set is identical across BFS/SSSP/CC.
+        reach_bfs = set(levels.to_lists()[0])
+        reach_sssp = set(dist.to_lists()[0])
+        comp0 = set(np.flatnonzero(comps.to_dense(-1) == comps.get(0)).tolist())
+        assert reach_bfs == reach_sssp == comp0
+        # Weighted distance >= hop count (weights >= 1).
+        for v in reach_bfs:
+            assert dist.get(v) >= levels.get(v) - 1e-9
+
+    def test_backend_switch_mid_pipeline(self):
+        g = gb.generators.rmat(scale=7, edge_factor=6, seed=3)
+        with use_backend("cpu"):
+            pr_cpu = gb.algorithms.pagerank(g, max_iter=15)
+        with use_backend("cuda_sim"):
+            levels = gb.algorithms.bfs_levels(g, 0)
+        with use_backend("reference"):
+            levels_ref = gb.algorithms.bfs_levels(g, 0)
+        assert levels == levels_ref
+        assert pr_cpu.nvals == g.nrows
+
+
+class TestDeviceLimits:
+    def test_tiny_device_ooms_on_big_graph(self):
+        tiny = DeviceProperties(name="Tiny", global_mem_bytes=20_000)
+        set_device(Device(tiny))
+        get_backend("cuda_sim").evict_all()
+        try:
+            g = gb.generators.rmat(scale=9, edge_factor=8, seed=1)
+            with pytest.raises(gb.DeviceOutOfMemoryError):
+                with use_backend("cuda_sim"):
+                    gb.algorithms.bfs_levels(g, 0)
+        finally:
+            reset_device()
+            get_backend("cuda_sim").evict_all()
+
+    def test_ablated_device_properties_change_timing(self):
+        g = gb.generators.rmat(scale=9, edge_factor=8, seed=1)
+        u = gb.Vector.full(1.0, g.nrows, gb.FP64)
+
+        def run():
+            w = gb.Vector.sparse(gb.FP64, g.nrows)
+            return ops.mxv(w, g, u, PLUS_TIMES)
+
+        def sim_with(props):
+            set_device(Device(props))
+            get_backend("cuda_sim").evict_all()
+            with use_backend("cuda_sim"):
+                run()
+            t = get_device().profiler.kernel_time_us
+            reset_device()
+            get_backend("cuda_sim").evict_all()
+            return t
+
+        slow = sim_with(DeviceProperties(mem_bandwidth_gbps=10.0))
+        fast = sim_with(DeviceProperties(mem_bandwidth_gbps=1000.0))
+        assert slow > fast
+
+
+class TestBenchSubstrate:
+    def test_time_operation_reference_vs_cpu(self):
+        g = get_workload("rmat_s8")
+        u = gb.Vector.full(1.0, g.nrows, gb.FP64)
+
+        def run():
+            w = gb.Vector.sparse(gb.FP64, g.nrows)
+            return ops.mxv(w, g, u, PLUS_TIMES)
+
+        ref = time_operation("reference", run, repeat=1)
+        cpu = time_operation("cpu", run, repeat=2)
+        assert not ref.simulated and not cpu.simulated
+        assert ref.seconds > 0 and cpu.seconds > 0
+
+    def test_simulated_measurement_counts_kernels(self):
+        g = get_workload("rmat_s8")
+        u = gb.Vector.full(1.0, g.nrows, gb.FP64)
+
+        def run():
+            w = gb.Vector.sparse(gb.FP64, g.nrows)
+            return ops.mxv(w, g, u, PLUS_TIMES)
+
+        m = simulated_gpu_time(run)
+        assert m.simulated and m.kernel_launches >= 1
+        assert m.transfer_seconds > 0  # fresh device: uploads charged
+
+    def test_workload_cache_returns_same_object(self):
+        assert get_workload("rmat_s8") is get_workload("rmat_s8")
+
+    def test_all_workloads_build(self):
+        for name in WORKLOADS:
+            g = get_workload(name)
+            assert g.nrows > 0
+
+    def test_random_frontier(self):
+        f = random_frontier(100, 10, seed=1)
+        assert f.nvals == 10 and f.size == 100
+        f2 = random_frontier(100, 200, seed=1)
+        assert f2.nvals == 100  # clamped
+
+    def test_format_table_and_series(self):
+        t = format_table("T", ["a", "b"], [[1, 2.5], ["x", 3e-7]])
+        assert "T" in t and "x" in t and "2.5000" in t
+        s = format_series("S", "x", [1, 2], {"y": [0.1, 0.2]})
+        assert "S" in s and "0.2000" in s
+
+    def test_speedup_and_ordering(self):
+        assert speedup(10.0, 2.0) == 5.0
+        assert speedup(1.0, 0.0) == float("inf")
+        ok = check_ordering({"fast": 1.0, "slow": 10.0}, ["fast"], "slow", 5.0)
+        assert ok == []
+        bad = check_ordering({"fast": 9.0, "slow": 10.0}, ["fast"], "slow", 5.0)
+        assert len(bad) == 1
+
+
+class TestUserExtension:
+    def test_custom_semiring_end_to_end(self):
+        """A user-defined semiring drives an algorithm-like computation."""
+        from repro.core.monoid import MAX_MONOID
+        from repro.core.operators import MIN
+        from repro.core.semiring import Semiring
+
+        # Widest-path (max-min) semiring: bottleneck capacities.
+        widest = Semiring("TEST_WIDEST", MAX_MONOID, MIN)
+        g = gb.Matrix.from_lists(
+            [0, 0, 1, 2], [1, 2, 3, 3], [5.0, 2.0, 4.0, 9.0], 4, 4
+        )
+        cap = gb.Vector.from_lists([0], [np.inf], 4)
+        for _ in range(3):
+            nxt = gb.Vector.sparse(gb.FP64, 4)
+            ops.vxm(nxt, cap, g, widest)
+            merged = cap.dup()
+            from repro.core.operators import MAX
+
+            ops.ewise_add(merged, cap, nxt, MAX)
+            if merged == cap:
+                break
+            cap = merged
+        # Best bottleneck to 3: min(5,4)=4 via 0->1->3 vs min(2,9)=2.
+        assert cap.get(3) == 4.0
+
+    def test_custom_backend_runs_algorithms(self):
+        from repro.backends.cpu.backend import CpuBackend
+        from repro.backends.dispatch import register_backend
+
+        calls = {"mxv": 0}
+
+        class CountingBackend(CpuBackend):
+            name = "counting"
+
+            def mxv(self, *a, **k):
+                calls["mxv"] += 1
+                return super().mxv(*a, **k)
+
+        register_backend("counting", CountingBackend)
+        g = gb.generators.path_graph(10)
+        with use_backend("counting"):
+            gb.algorithms.connected_components(g)
+        assert calls["mxv"] > 0

@@ -1,0 +1,140 @@
+"""MatrixMarket and edge-list I/O round-trips."""
+
+import io
+
+import numpy as np
+import pytest
+
+import repro as gb
+from repro.io import (
+    read_edgelist,
+    read_matrix_market,
+    write_edgelist,
+    write_matrix_market,
+)
+
+
+class TestMatrixMarket:
+    def test_roundtrip_real(self, tmp_path):
+        m = gb.Matrix.from_lists([0, 1, 2], [1, 2, 0], [1.5, 2.25, -3.0], 3, 3)
+        path = tmp_path / "m.mtx"
+        write_matrix_market(m, path)
+        back = read_matrix_market(path)
+        assert back == m
+
+    def test_roundtrip_integer(self, tmp_path):
+        m = gb.Matrix.from_lists([0, 1], [0, 1], [7, -3], 2, 2, gb.INT64)
+        path = tmp_path / "i.mtx"
+        write_matrix_market(m, path)
+        back = read_matrix_market(path)
+        assert back.type is gb.INT64 and back == m
+
+    def test_roundtrip_pattern(self, tmp_path):
+        m = gb.Matrix.from_lists([0, 1], [1, 0], [True, True], 2, 2, gb.BOOL)
+        path = tmp_path / "p.mtx"
+        write_matrix_market(m, path)
+        back = read_matrix_market(path)
+        assert back.type is gb.BOOL and back.nvals == 2
+
+    def test_read_symmetric_expands(self):
+        text = """%%MatrixMarket matrix coordinate real symmetric
+3 3 2
+2 1 5.0
+3 3 1.0
+"""
+        m = read_matrix_market(io.StringIO(text))
+        assert m.get(1, 0) == 5.0 and m.get(0, 1) == 5.0
+        assert m.get(2, 2) == 1.0
+        assert m.nvals == 3
+
+    def test_read_with_comments(self):
+        text = """%%MatrixMarket matrix coordinate real general
+% a comment
+% another
+2 2 1
+1 2 4.0
+"""
+        m = read_matrix_market(io.StringIO(text))
+        assert m.get(0, 1) == 4.0
+
+    def test_write_includes_comment(self, tmp_path):
+        m = gb.Matrix.identity(2)
+        path = tmp_path / "c.mtx"
+        write_matrix_market(m, path, comment="hello\nworld")
+        content = path.read_text()
+        assert "% hello" in content and "% world" in content
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(gb.InvalidValueError):
+            read_matrix_market(io.StringIO("garbage\n1 1 0\n"))
+
+    def test_unsupported_field_rejected(self):
+        text = "%%MatrixMarket matrix coordinate complex general\n1 1 0\n"
+        with pytest.raises(gb.InvalidValueError):
+            read_matrix_market(io.StringIO(text))
+
+    def test_truncated_file_rejected(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n"
+        with pytest.raises(gb.InvalidValueError):
+            read_matrix_market(io.StringIO(text))
+
+    def test_type_override(self):
+        text = "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 2.7\n"
+        m = read_matrix_market(io.StringIO(text), typ=gb.INT32)
+        assert m.type is gb.INT32 and m.get(0, 0) == 2
+
+    def test_one_based_conversion(self):
+        text = "%%MatrixMarket matrix coordinate real general\n3 3 1\n3 1 9.0\n"
+        m = read_matrix_market(io.StringIO(text))
+        assert m.get(2, 0) == 9.0
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path):
+        g = gb.generators.erdos_renyi_gnp(20, 0.2, seed=1, weighted=True)
+        path = tmp_path / "g.tsv"
+        write_edgelist(g, path)
+        back = read_edgelist(path, n=20)
+        assert back == g
+
+    def test_read_without_weights(self):
+        text = "0 1\n1 2\n"
+        g = read_edgelist(io.StringIO(text))
+        assert g.nrows == 3 and g.get(0, 1) == 1.0
+
+    def test_read_with_weights(self):
+        text = "0 1 2.5\n1 0 3.5\n"
+        g = read_edgelist(io.StringIO(text))
+        assert g.get(0, 1) == 2.5 and g.get(1, 0) == 3.5
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# header\n\n0 1\n# mid\n1 2\n"
+        g = read_edgelist(io.StringIO(text))
+        assert g.nvals == 2
+
+    def test_undirected_symmetrises(self):
+        text = "0 1 5.0\n"
+        g = read_edgelist(io.StringIO(text), directed=False)
+        assert g.get(1, 0) == 5.0
+
+    def test_explicit_n(self):
+        g = read_edgelist(io.StringIO("0 1\n"), n=10)
+        assert g.nrows == 10
+
+    def test_bad_line_rejected(self):
+        with pytest.raises(gb.InvalidValueError):
+            read_edgelist(io.StringIO("0\n"))
+
+    def test_custom_delimiter(self):
+        g = read_edgelist(io.StringIO("0,1,2.0\n"), delimiter=",")
+        assert g.get(0, 1) == 2.0
+
+    def test_write_without_weights(self, tmp_path):
+        g = gb.Matrix.from_lists([0], [1], [3.0], 2, 2)
+        path = tmp_path / "nw.tsv"
+        write_edgelist(g, path, weights=False)
+        assert path.read_text() == "0\t1\n"
+
+    def test_empty_graph(self):
+        g = read_edgelist(io.StringIO(""), n=5)
+        assert g.nrows == 5 and g.nvals == 0

@@ -1,0 +1,163 @@
+"""The write pipeline: mask variants, accumulate, replace — spec semantics.
+
+These run on every backend (the pipeline is shared, but backends may prune
+with the mask, so cross-backend agreement here guards the pruning logic).
+"""
+
+import numpy as np
+import pytest
+
+import repro as gb
+from repro.core import operations as ops
+from repro.core.descriptor import Descriptor
+from repro.core.operators import ABS, IDENTITY, PLUS, TIMES
+from repro.core.semiring import PLUS_TIMES
+
+
+@pytest.fixture
+def u():
+    return gb.Vector.from_lists([0, 1, 2, 3], [1.0, 2.0, 3.0, 4.0], 5)
+
+
+def identity_into(w, src, mask=None, accum=None, desc=gb.DEFAULT):
+    ops.apply(w, src, IDENTITY, mask=mask, accum=accum, desc=desc)
+    return w
+
+
+class TestNoMask:
+    def test_plain_write_clears_old(self, backend, u):
+        w = gb.Vector.from_lists([4], [99.0], 5)
+        identity_into(w, u)
+        assert 4 not in w and w.nvals == 4
+
+    def test_accum_merges_with_old(self, backend, u):
+        w = gb.Vector.from_lists([0, 4], [10.0, 99.0], 5)
+        identity_into(w, u, accum=PLUS)
+        assert w.get(0) == 11.0  # accumulated
+        assert w.get(4) == 99.0  # old entry survives under accum
+        assert w.get(1) == 2.0  # new entry passes through
+
+
+class TestValuedMask:
+    def test_mask_true_positions_written(self, backend, u):
+        mask = gb.Vector.from_lists([0, 2], [True, True], 5, gb.BOOL)
+        w = gb.Vector.sparse(gb.FP64, 5)
+        identity_into(w, u, mask=mask)
+        assert w.to_lists() == ([0, 2], [1.0, 3.0])
+
+    def test_false_mask_value_blocks(self, backend, u):
+        mask = gb.Vector.from_lists([0, 2], [True, False], 5, gb.BOOL)
+        w = gb.Vector.sparse(gb.FP64, 5)
+        identity_into(w, u, mask=mask)
+        assert w.to_lists() == ([0], [1.0])
+
+    def test_mask_false_keeps_old_without_replace(self, backend, u):
+        mask = gb.Vector.from_lists([0], [True], 5, gb.BOOL)
+        w = gb.Vector.from_lists([4], [99.0], 5)
+        identity_into(w, u, mask=mask)
+        assert w.get(4) == 99.0 and w.get(0) == 1.0
+
+    def test_replace_clears_mask_false_old(self, backend, u):
+        mask = gb.Vector.from_lists([0], [True], 5, gb.BOOL)
+        w = gb.Vector.from_lists([4], [99.0], 5)
+        identity_into(w, u, mask=mask, desc=gb.REPLACE)
+        assert w.to_lists() == ([0], [1.0])
+
+
+class TestStructuralMask:
+    def test_presence_counts_even_if_false(self, backend, u):
+        mask = gb.Vector.from_lists([0, 2], [False, False], 5, gb.BOOL)
+        w = gb.Vector.sparse(gb.FP64, 5)
+        identity_into(w, u, mask=mask, desc=gb.STRUCTURE_MASK)
+        assert w.to_lists() == ([0, 2], [1.0, 3.0])
+
+
+class TestComplementMask:
+    def test_complement_valued(self, backend, u):
+        mask = gb.Vector.from_lists([0, 1], [True, True], 5, gb.BOOL)
+        w = gb.Vector.sparse(gb.FP64, 5)
+        identity_into(w, u, mask=mask, desc=gb.COMP_MASK)
+        assert w.to_lists() == ([2, 3], [3.0, 4.0])
+
+    def test_complement_includes_false_valued_entries(self, backend, u):
+        mask = gb.Vector.from_lists([0, 1], [True, False], 5, gb.BOOL)
+        w = gb.Vector.sparse(gb.FP64, 5)
+        identity_into(w, u, mask=mask, desc=gb.COMP_MASK)
+        assert w.to_lists() == ([1, 2, 3], [2.0, 3.0, 4.0])
+
+    def test_complement_structural(self, backend, u):
+        mask = gb.Vector.from_lists([0, 1], [True, False], 5, gb.BOOL)
+        w = gb.Vector.sparse(gb.FP64, 5)
+        identity_into(w, u, mask=mask, desc=gb.COMP_STRUCTURE_MASK)
+        assert w.to_lists() == ([2, 3], [3.0, 4.0])
+
+
+class TestMaskAccumInteraction:
+    def test_accum_under_mask(self, backend, u):
+        # Mask-true positions: accum(old, new); mask-false: old untouched.
+        mask = gb.Vector.from_lists([0, 4], [True, True], 5, gb.BOOL)
+        w = gb.Vector.from_lists([0, 1], [10.0, 20.0], 5)
+        identity_into(w, u, mask=mask, accum=PLUS)
+        assert w.get(0) == 11.0
+        assert w.get(1) == 20.0  # mask-false keeps old, no accum
+        assert 2 not in w  # mask-false, no old
+
+    def test_accum_mask_true_old_only_survives(self, backend, u):
+        # Mask-true position with old entry but no new entry: Z keeps old.
+        mask = gb.Vector.from_lists([4], [True], 5, gb.BOOL)
+        w = gb.Vector.from_lists([4], [50.0], 5)
+        identity_into(w, u, mask=mask, accum=PLUS)
+        assert w.get(4) == 50.0
+
+    def test_replace_with_accum(self, backend, u):
+        mask = gb.Vector.from_lists([0], [True], 5, gb.BOOL)
+        w = gb.Vector.from_lists([0, 4], [10.0, 99.0], 5)
+        identity_into(w, u, mask=mask, accum=PLUS, desc=gb.REPLACE)
+        assert w.to_lists() == ([0], [11.0])
+
+
+class TestMatrixMask:
+    def test_matrix_masked_write(self, backend):
+        a = gb.Matrix.from_dense(np.arange(1.0, 5.0).reshape(2, 2))
+        mask = gb.Matrix.from_lists([0], [1], [True], 2, 2, gb.BOOL)
+        c = gb.Matrix.sparse(gb.FP64, 2, 2)
+        ops.apply(c, a, IDENTITY, mask=mask)
+        assert c.nvals == 1 and c.get(0, 1) == 2.0
+
+    def test_matrix_complement_replace(self, backend):
+        a = gb.Matrix.from_dense(np.ones((2, 2)))
+        mask = gb.Matrix.from_lists([0], [0], [True], 2, 2, gb.BOOL)
+        c = gb.Matrix.from_lists([0], [0], [42.0], 2, 2)
+        ops.apply(
+            c, a, IDENTITY, mask=mask, desc=Descriptor(complement_mask=True, replace=True)
+        )
+        assert (0, 0) not in c
+        assert c.nvals == 3
+
+    def test_mask_shape_checked(self, backend):
+        a = gb.Matrix.from_dense(np.ones((2, 2)))
+        mask = gb.Matrix.sparse(gb.BOOL, 3, 2)
+        with pytest.raises(gb.DimensionMismatchError):
+            ops.apply(gb.Matrix.sparse(gb.FP64, 2, 2), a, IDENTITY, mask=mask)
+
+    def test_vector_mask_shape_checked(self, backend):
+        u = gb.Vector.from_lists([0], [1.0], 3)
+        mask = gb.Vector.sparse(gb.BOOL, 4)
+        with pytest.raises(gb.DimensionMismatchError):
+            ops.apply(gb.Vector.sparse(gb.FP64, 3), u, IDENTITY, mask=mask)
+
+
+class TestOutputDomain:
+    def test_result_cast_to_output_domain(self, backend):
+        u = gb.Vector.from_lists([0], [2.7], 2)
+        w = gb.Vector.sparse(gb.INT64, 2)
+        ops.apply(w, u, ABS)
+        assert w.type is gb.INT64
+        assert w.get(0) == 2
+
+    def test_masked_product_output_domain(self, backend):
+        a = gb.Matrix.from_dense(np.ones((2, 2)))
+        u = gb.Vector.from_dense(np.ones(2))
+        w = gb.Vector.sparse(gb.INT64, 2)
+        ops.mxv(w, a, u, PLUS_TIMES)
+        assert w.type is gb.INT64 and w.get(0) == 2

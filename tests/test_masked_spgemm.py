@@ -1,0 +1,118 @@
+"""Masked SpGEMM pruning: correctness across backends and mask variants."""
+
+import numpy as np
+import pytest
+
+import repro as gb
+from repro.backends.cpu.spgemm import mask_keys_for, spgemm_masked_esr
+from repro.backends.dispatch import use_backend
+from repro.core import operations as ops
+from repro.core.descriptor import DEFAULT, STRUCTURE_MASK, Descriptor
+from repro.core.semiring import PLUS_PAIR, PLUS_TIMES
+
+from .conftest import random_dense_matrix
+
+
+def run_on(backend, fn):
+    with use_backend(backend):
+        return fn()
+
+
+class TestMaskedMxmOracle:
+    @pytest.mark.parametrize("desc", [DEFAULT, STRUCTURE_MASK, Descriptor(complement_mask=True)], ids=str)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_reference(self, desc, seed):
+        rng = np.random.default_rng(seed)
+        A = random_dense_matrix(rng, 12, 12, density=0.3)
+        B = random_dense_matrix(rng, 12, 12, density=0.3)
+        M = random_dense_matrix(rng, 12, 12, density=0.25) != 0
+        # Give the mask mixed truth values.
+        mvals = rng.random(int(M.sum())) > 0.3
+        mr, mc = np.nonzero(M)
+        mask = gb.Matrix.from_lists(mr, mc, mvals, 12, 12, gb.BOOL)
+        a, b = gb.Matrix.from_dense(A), gb.Matrix.from_dense(B)
+
+        def go():
+            c = gb.Matrix.from_lists([0, 5], [0, 5], [100.0, 200.0], 12, 12)
+            return ops.mxm(c, a, b, PLUS_PAIR, mask=mask, desc=desc)
+
+        expected = run_on("reference", go)
+        for backend in ("cpu", "cuda_sim"):
+            assert run_on(backend, go) == expected, f"{backend} {desc}"
+
+    def test_masked_with_accum(self):
+        rng = np.random.default_rng(3)
+        A = random_dense_matrix(rng, 10, 10, density=0.3)
+        mask = gb.Matrix.from_lists([0, 1], [1, 2], [True, True], 10, 10, gb.BOOL)
+        a = gb.Matrix.from_dense(A)
+        from repro.core.operators import PLUS
+
+        def go():
+            c = gb.Matrix.from_lists([0], [1], [5.0], 10, 10)
+            return ops.mxm(c, a, a, PLUS_TIMES, mask=mask, accum=PLUS)
+
+        expected = run_on("reference", go)
+        for backend in ("cpu", "cuda_sim"):
+            got = run_on(backend, go)
+            assert got.nvals == expected.nvals
+            gc, ec = got.container, expected.container
+            np.testing.assert_array_equal(gc.indices, ec.indices)
+            np.testing.assert_allclose(gc.values, ec.values, rtol=1e-12)
+
+
+class TestMaskKeysFor:
+    def test_structural_keeps_all(self):
+        m = gb.Matrix.from_lists([0, 1], [1, 0], [True, False], 2, 2, gb.BOOL)
+        keys = mask_keys_for(m.container, STRUCTURE_MASK)
+        np.testing.assert_array_equal(keys, [1, 2])
+
+    def test_valued_filters_false(self):
+        m = gb.Matrix.from_lists([0, 1], [1, 0], [True, False], 2, 2, gb.BOOL)
+        keys = mask_keys_for(m.container, DEFAULT)
+        np.testing.assert_array_equal(keys, [1])
+
+
+class TestSpgemmMaskedEsr:
+    def test_equals_filtered_full_product(self):
+        rng = np.random.default_rng(5)
+        A = random_dense_matrix(rng, 15, 15, density=0.3)
+        a = gb.Matrix.from_dense(A).container
+        full = (A != 0).astype(float)
+        mask_keys = np.sort(
+            rng.choice(15 * 15, size=40, replace=False).astype(np.int64)
+        )
+        from repro.types import FP64
+
+        got = spgemm_masked_esr(a, a, PLUS_TIMES, FP64, mask_keys)
+        dense = A @ A
+        for i in range(15):
+            for j in range(15):
+                k = i * 15 + j
+                v = got.get(i, j)
+                if k in set(mask_keys.tolist()) and dense[i, j] != 0:
+                    # Entry present iff some partial product existed there.
+                    pass  # value check below
+                if v is not None:
+                    assert k in set(mask_keys.tolist())
+                    assert v == pytest.approx(dense[i, j])
+
+    def test_empty_mask_empty_result(self):
+        a = gb.Matrix.from_dense(np.ones((4, 4))).container
+        from repro.types import FP64
+
+        out = spgemm_masked_esr(a, a, PLUS_TIMES, FP64, np.empty(0, dtype=np.int64))
+        assert out.nvals == 0
+
+    def test_triangle_count_uses_masked_path(self):
+        # End-to-end: triangle counting still exact with the pruning.
+        g = gb.generators.erdos_renyi_gnp(40, 0.2, seed=9)
+        import networkx as nx
+
+        G = nx.Graph()
+        G.add_nodes_from(range(40))
+        r, c, _ = g.to_lists()
+        G.add_edges_from(zip(r, c))
+        expected = sum(nx.triangles(G).values()) // 3
+        for backend in ("cpu", "cuda_sim"):
+            with use_backend(backend):
+                assert gb.algorithms.triangle_count(g) == expected

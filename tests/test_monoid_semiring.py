@@ -1,0 +1,117 @@
+"""Monoids and semirings: identities, terminals, reduction, dispatch keys."""
+
+import numpy as np
+import pytest
+
+import repro.core.monoid as M
+import repro.core.semiring as S
+from repro.core.operators import MINUS, PLUS, binary_op
+from repro.types import BOOL, FP32, FP64, INT32, INT64, UINT8
+
+
+class TestIdentities:
+    def test_plus_zero(self):
+        assert M.PLUS_MONOID.identity(FP64) == 0.0
+        assert M.PLUS_MONOID.identity(INT32) == 0
+
+    def test_times_one(self):
+        assert M.TIMES_MONOID.identity(FP64) == 1.0
+
+    def test_min_identity_is_domain_max(self):
+        assert M.MIN_MONOID.identity(FP64) == np.inf
+        assert M.MIN_MONOID.identity(INT32) == np.iinfo(np.int32).max
+        assert M.MIN_MONOID.identity(UINT8) == 255
+
+    def test_max_identity_is_domain_min(self):
+        assert M.MAX_MONOID.identity(FP64) == -np.inf
+        assert M.MAX_MONOID.identity(INT32) == np.iinfo(np.int32).min
+        assert M.MAX_MONOID.identity(UINT8) == 0
+
+    def test_bool_monoids(self):
+        assert M.LOR_MONOID.identity(BOOL) == False  # noqa: E712
+        assert M.LAND_MONOID.identity(BOOL) == True  # noqa: E712
+
+    def test_min_max_identity_bool(self):
+        assert M.MIN_MONOID.identity(BOOL) == True  # noqa: E712
+        assert M.MAX_MONOID.identity(BOOL) == False  # noqa: E712
+
+
+class TestTerminals:
+    def test_lor_terminal_true(self):
+        assert M.LOR_MONOID.terminal(BOOL) == True  # noqa: E712
+
+    def test_plus_has_no_terminal(self):
+        assert M.PLUS_MONOID.terminal(FP64) is None
+
+    def test_times_terminal_zero(self):
+        assert M.TIMES_MONOID.terminal(FP64) == 0.0
+
+    def test_min_terminal(self):
+        assert M.MIN_MONOID.terminal(INT32) == np.iinfo(np.int32).min
+
+
+class TestReduceArray:
+    def test_plus(self):
+        assert M.PLUS_MONOID.reduce_array(np.array([1.0, 2.0, 3.0]), FP64) == 6.0
+
+    def test_empty_reduces_to_identity(self):
+        assert M.PLUS_MONOID.reduce_array(np.array([]), FP64) == 0.0
+        assert M.MIN_MONOID.reduce_array(np.array([]), FP64) == np.inf
+
+    def test_min_max(self):
+        v = np.array([3.0, 1.0, 2.0])
+        assert M.MIN_MONOID.reduce_array(v, FP64) == 1.0
+        assert M.MAX_MONOID.reduce_array(v, FP64) == 3.0
+
+    def test_lxor_parity(self):
+        v = np.array([True, True, True])
+        assert M.LXOR_MONOID.reduce_array(v, BOOL) == True  # noqa: E712
+        v = np.array([True, True])
+        assert M.LXOR_MONOID.reduce_array(v, BOOL) == False  # noqa: E712
+
+    def test_any_takes_first(self):
+        assert M.ANY_MONOID.reduce_array(np.array([7.0, 8.0]), FP64) == 7.0
+
+    def test_custom_monoid_fallback_fold(self):
+        gcd_op = binary_op("TEST_GCD", np.gcd, commutative=True, associative=True)
+        gcd_m = M.Monoid("TEST_GCD_M", gcd_op, lambda t: t.cast(0))
+        assert gcd_m.reduce_array(np.array([12, 18, 8]), INT64) == 2
+
+
+class TestMonoidValidation:
+    def test_non_associative_op_rejected(self):
+        with pytest.raises(ValueError):
+            M.Monoid("BAD", MINUS, lambda t: t.cast(0))
+
+    def test_registry(self):
+        assert M.MONOIDS["PLUS_MONOID"] is M.PLUS_MONOID
+
+
+class TestSemirings:
+    def test_zero_comes_from_add_monoid(self):
+        assert S.PLUS_TIMES.zero(FP64) == 0.0
+        assert S.MIN_PLUS.zero(FP64) == np.inf
+
+    def test_multiply_combine(self):
+        assert S.MIN_PLUS.multiply(2.0, 3.0) == 5.0  # mult is PLUS
+        assert S.MIN_PLUS.combine(2.0, 3.0) == 2.0  # add is MIN
+
+    def test_result_type_promotes(self):
+        # C promotion: int32 values need float64 to be exactly representable.
+        assert S.PLUS_TIMES.result_type(INT32, FP32) is FP64
+        assert S.PLUS_TIMES.result_type(FP32, FP32) is FP32
+
+    def test_bool_semiring_result_type(self):
+        assert S.LOR_LAND.result_type(FP64, FP64) is BOOL
+
+    def test_dispatch_key(self):
+        assert S.PLUS_TIMES.key == ("PLUS", "TIMES")
+        assert S.MIN_FIRST.key == ("MIN", "FIRST")
+
+    def test_registry(self):
+        assert S.SEMIRINGS["MIN_PLUS"] is S.MIN_PLUS
+
+    def test_custom_semiring(self):
+        sr = S.make_semiring("TEST_MAX_PLUS2", M.MAX_MONOID, PLUS)
+        assert sr.combine(1, 5) == 5
+        assert sr.multiply(1, 5) == 6

@@ -1,0 +1,88 @@
+"""Pythonic operator sugar on Matrix/Vector (@, +, *, .T, .reduce)."""
+
+import numpy as np
+import pytest
+
+import repro as gb
+
+from .conftest import random_dense_matrix, random_dense_vector
+
+
+class TestMatmul:
+    def test_matrix_vector(self, backend, rng):
+        A = random_dense_matrix(rng, 6, 5)
+        v = random_dense_vector(rng, 5, density=0.9)
+        w = gb.Matrix.from_dense(A) @ gb.Vector.from_dense(v)
+        np.testing.assert_allclose(w.to_dense(0), A @ v, atol=1e-9)
+
+    def test_matrix_matrix(self, backend, rng):
+        A = random_dense_matrix(rng, 4, 6)
+        B = random_dense_matrix(rng, 6, 3)
+        c = gb.Matrix.from_dense(A) @ gb.Matrix.from_dense(B)
+        np.testing.assert_allclose(c.to_dense(), A @ B, atol=1e-9)
+
+    def test_vector_matrix(self, backend, rng):
+        A = random_dense_matrix(rng, 5, 7)
+        v = random_dense_vector(rng, 5, density=0.9)
+        w = gb.Vector.from_dense(v) @ gb.Matrix.from_dense(A)
+        np.testing.assert_allclose(w.to_dense(0), v @ A, atol=1e-9)
+
+    def test_chained(self, backend):
+        a = gb.Matrix.identity(3, value=2.0)
+        v = gb.Vector.full(1.0, 3)
+        w = a @ (a @ v)
+        np.testing.assert_allclose(w.to_dense(), [4.0] * 3)
+
+    def test_dim_mismatch_raises(self, backend):
+        with pytest.raises(gb.DimensionMismatchError):
+            gb.Matrix.sparse(gb.FP64, 2, 3) @ gb.Vector.sparse(gb.FP64, 2)
+
+
+class TestElementwiseSugar:
+    def test_vector_add(self, backend):
+        u = gb.Vector.from_lists([0], [1.0], 3)
+        v = gb.Vector.from_lists([0, 1], [2.0, 5.0], 3)
+        w = u + v
+        assert w.to_lists() == ([0, 1], [3.0, 5.0])
+        # Operands untouched.
+        assert u.nvals == 1
+
+    def test_vector_mul(self, backend):
+        u = gb.Vector.from_lists([0, 1], [2.0, 3.0], 3)
+        v = gb.Vector.from_lists([1, 2], [4.0, 9.0], 3)
+        w = u * v
+        assert w.to_lists() == ([1], [12.0])
+
+    def test_matrix_add_mul(self, backend, rng):
+        A = random_dense_matrix(rng, 4, 4)
+        B = random_dense_matrix(rng, 4, 4)
+        ma, mb = gb.Matrix.from_dense(A), gb.Matrix.from_dense(B)
+        np.testing.assert_allclose((ma + mb).to_dense(), A + B, atol=1e-12)
+        both = (A != 0) & (B != 0)
+        got = (ma * mb).to_dense()
+        np.testing.assert_allclose(got[both], (A * B)[both], atol=1e-12)
+        assert not got[~both].any()
+
+
+class TestTransposeProperty:
+    def test_T(self, backend, rng):
+        A = random_dense_matrix(rng, 3, 5)
+        np.testing.assert_array_equal(gb.Matrix.from_dense(A).T.to_dense(), A.T)
+
+    def test_double_T(self, backend):
+        a = gb.Matrix.from_lists([0], [1], [5.0], 2, 3)
+        assert a.T.T == a
+
+
+class TestReduceMethod:
+    def test_vector_default_plus(self, backend):
+        assert gb.Vector.from_lists([0, 1], [2.0, 3.0], 4).reduce() == 5.0
+
+    def test_vector_custom_monoid(self, backend):
+        from repro.core.monoid import MAX_MONOID
+
+        assert gb.Vector.from_lists([0, 1], [2.0, 9.0], 4).reduce(MAX_MONOID) == 9.0
+
+    def test_matrix_reduce(self, backend):
+        m = gb.Matrix.identity(4, value=2.5)
+        assert m.reduce() == 10.0

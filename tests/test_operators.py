@@ -1,0 +1,127 @@
+"""Operators: registries, arithmetic, array/scalar duality, index ops."""
+
+import numpy as np
+import pytest
+
+from repro.core import operators as op
+from repro.types import BOOL, FP64, INT64
+
+
+class TestUnary:
+    def test_identity(self):
+        assert op.IDENTITY(5) == 5
+
+    def test_ainv(self):
+        assert op.AINV(3.0) == -3.0
+
+    def test_minv(self):
+        assert op.MINV(4.0) == 0.25
+
+    def test_lnot_output_type(self):
+        assert op.LNOT.result_type(FP64) is BOOL
+        assert bool(op.LNOT(0.0)) is True
+
+    def test_abs(self):
+        assert op.ABS(-2.5) == 2.5
+
+    def test_one(self):
+        assert op.ONE(17.0) == 1.0
+
+    def test_one_on_array(self):
+        out = op.ONE(np.array([3.0, -2.0]))
+        np.testing.assert_array_equal(out, [1.0, 1.0])
+
+    def test_unary_works_on_arrays(self):
+        x = np.array([1.0, 4.0, 9.0])
+        np.testing.assert_allclose(op.SQRT(x), [1.0, 2.0, 3.0])
+
+    def test_registry(self):
+        assert op.UNARY_OPS["ABS"] is op.ABS
+
+    def test_result_type_default_same(self):
+        assert op.ABS.result_type(INT64) is INT64
+
+
+class TestBinary:
+    def test_plus_times(self):
+        assert op.PLUS(2, 3) == 5
+        assert op.TIMES(2, 3) == 6
+
+    def test_minus_rminus(self):
+        assert op.MINUS(5, 2) == 3
+        assert op.RMINUS(5, 2) == -3
+
+    def test_div_rdiv(self):
+        assert op.DIV(6.0, 3.0) == 2.0
+        assert op.RDIV(3.0, 6.0) == 2.0
+
+    def test_min_max(self):
+        assert op.MIN(2, 7) == 2
+        assert op.MAX(2, 7) == 7
+
+    def test_first_second_any_pair(self):
+        assert op.FIRST(1, 2) == 1
+        assert op.SECOND(1, 2) == 2
+        assert op.ANY(1, 2) == 1  # deterministic choice
+        assert op.PAIR(9.0, 8.0) == 1
+
+    def test_comparisons_bool_out(self):
+        for o in (op.EQ, op.NE, op.GT, op.LT, op.GE, op.LE):
+            assert o.bool_out
+            assert o.result_type(FP64) is BOOL
+        assert bool(op.GT(3, 2))
+        assert not bool(op.LT(3, 2))
+
+    def test_logical(self):
+        assert bool(op.LOR(False, True))
+        assert not bool(op.LAND(False, True))
+        assert bool(op.LXOR(False, True))
+        assert bool(op.LXNOR(True, True))
+
+    def test_arrays(self):
+        a = np.array([1.0, 2.0])
+        b = np.array([3.0, 1.0])
+        np.testing.assert_array_equal(op.MAX(a, b), [3.0, 2.0])
+        np.testing.assert_array_equal(op.FIRST(a, b), a)
+
+    def test_flags(self):
+        assert op.PLUS.commutative and op.PLUS.associative
+        assert not op.MINUS.commutative
+
+    def test_registry_and_factory(self):
+        custom = op.binary_op("TEST_AVG", lambda x, y: (x + y) / 2, commutative=True)
+        assert op.BINARY_OPS["TEST_AVG"] is custom
+        assert custom(2.0, 4.0) == 3.0
+
+
+class TestIndexUnary:
+    def test_rowindex(self):
+        out = op.ROWINDEX(np.array([9.0]), np.array([5]), np.array([0]), 1)
+        assert out[0] == 6
+
+    def test_tril_triu(self):
+        i = np.array([2, 0])
+        j = np.array([1, 2])
+        x = np.ones(2)
+        np.testing.assert_array_equal(op.TRIL(x, i, j, 0), [True, False])
+        np.testing.assert_array_equal(op.TRIU(x, i, j, 0), [False, True])
+
+    def test_diag_offdiag(self):
+        i = np.array([1, 1])
+        j = np.array([1, 2])
+        x = np.ones(2)
+        np.testing.assert_array_equal(op.DIAG(x, i, j, 0), [True, False])
+        np.testing.assert_array_equal(op.OFFDIAG(x, i, j, 0), [False, True])
+
+    def test_value_predicates(self):
+        x = np.array([1.0, 5.0, 3.0])
+        z = np.zeros(3, dtype=np.int64)
+        np.testing.assert_array_equal(op.VALUEGT(x, z, z, 2.0), [False, True, True])
+        np.testing.assert_array_equal(op.VALUEEQ(x, z, z, 3.0), [False, False, True])
+        np.testing.assert_array_equal(op.VALUELE(x, z, z, 3.0), [True, False, True])
+
+    def test_bool_out_flag(self):
+        assert op.TRIL.bool_out
+        assert not op.ROWINDEX.bool_out
+        assert op.ROWINDEX.result_type(FP64) is FP64
+        assert op.TRIL.result_type(FP64) is BOOL

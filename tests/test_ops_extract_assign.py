@@ -1,0 +1,203 @@
+"""extract / assign family and transpose / kronecker frontends."""
+
+import numpy as np
+import pytest
+
+import repro as gb
+from repro.core import operations as ops
+from repro.core.assign import assign, assign_col, assign_row, assign_scalar
+from repro.core.operators import PLUS, TIMES
+
+
+class TestExtractVector:
+    def test_subset(self, backend):
+        u = gb.Vector.from_lists([0, 2, 4], [1.0, 3.0, 5.0], 6)
+        w = gb.Vector.sparse(gb.FP64, 3)
+        ops.extract(w, u, [4, 1, 2])
+        # w[k] = u[idx[k]]: w[0]=u[4]=5, w[1]=u[1] absent, w[2]=u[2]=3
+        assert w.to_lists() == ([0, 2], [5.0, 3.0])
+
+    def test_all_indices(self, backend):
+        u = gb.Vector.from_lists([1], [9.0], 3)
+        w = gb.Vector.sparse(gb.FP64, 3)
+        ops.extract(w, u, None)
+        assert w == u
+
+    def test_repeated_indices(self, backend):
+        u = gb.Vector.from_lists([1], [9.0], 3)
+        w = gb.Vector.sparse(gb.FP64, 4)
+        ops.extract(w, u, [1, 1, 0, 1])
+        assert w.to_lists() == ([0, 1, 3], [9.0, 9.0, 9.0])
+
+    def test_out_of_bounds(self, backend):
+        u = gb.Vector.sparse(gb.FP64, 3)
+        with pytest.raises(gb.IndexOutOfBoundsError):
+            ops.extract(gb.Vector.sparse(gb.FP64, 1), u, [3])
+
+    def test_size_mismatch(self, backend):
+        u = gb.Vector.sparse(gb.FP64, 3)
+        with pytest.raises(gb.DimensionMismatchError):
+            ops.extract(gb.Vector.sparse(gb.FP64, 5), u, [0, 1])
+
+
+class TestExtractMatrix:
+    @pytest.fixture
+    def a(self):
+        return gb.Matrix.from_dense(np.arange(12, dtype=float).reshape(3, 4))
+
+    def test_submatrix(self, backend, a):
+        c = gb.Matrix.sparse(gb.FP64, 2, 2)
+        ops.extract_submatrix(c, a, [2, 0], [1, 3])
+        np.testing.assert_array_equal(c.to_dense(), [[9.0, 11.0], [1.0, 3.0]])
+
+    def test_all_rows(self, backend, a):
+        c = gb.Matrix.sparse(gb.FP64, 3, 2)
+        ops.extract_submatrix(c, a, None, [0, 2])
+        np.testing.assert_array_equal(c.to_dense(), a.to_dense()[:, [0, 2]])
+
+    def test_extract_col(self, backend, a):
+        w = gb.Vector.sparse(gb.FP64, 3)
+        ops.extract_col(w, a, 2)
+        np.testing.assert_array_equal(w.to_dense(), [2.0, 6.0, 10.0])
+
+    def test_extract_row(self, backend, a):
+        w = gb.Vector.sparse(gb.FP64, 4)
+        ops.extract_row(w, a, 1)
+        np.testing.assert_array_equal(w.to_dense(), [4.0, 5.0, 6.0, 7.0])
+
+    def test_extract_row_implicit_zero_stays_implicit(self, backend):
+        a = gb.Matrix.from_lists([0], [1], [5.0], 2, 3)
+        w = gb.Vector.sparse(gb.FP64, 3)
+        ops.extract_row(w, a, 0)
+        assert w.nvals == 1 and w.get(1) == 5.0
+
+
+class TestAssignVector:
+    def test_vector_into_region(self, backend):
+        w = gb.Vector.from_lists([0, 4], [10.0, 40.0], 5)
+        u = gb.Vector.from_lists([0, 1], [1.0, 2.0], 2)
+        assign(w, u, indices=[1, 2])
+        assert w.to_lists() == ([0, 1, 2, 4], [10.0, 1.0, 2.0, 40.0])
+
+    def test_assign_deletes_missing_region_entries(self, backend):
+        w = gb.Vector.from_lists([1, 2], [10.0, 20.0], 4)
+        u = gb.Vector.from_lists([0], [5.0], 2)  # entry only at region pos 0
+        assign(w, u, indices=[1, 2])
+        assert w.to_lists() == ([1], [5.0])
+
+    def test_assign_with_accum_keeps_region_entries(self, backend):
+        w = gb.Vector.from_lists([1, 2], [10.0, 20.0], 4)
+        u = gb.Vector.from_lists([0], [5.0], 2)
+        assign(w, u, indices=[1, 2], accum=PLUS)
+        assert w.to_lists() == ([1, 2], [15.0, 20.0])
+
+    def test_assign_mask_over_output(self, backend):
+        w = gb.Vector.sparse(gb.FP64, 4)
+        u = gb.Vector.from_lists([0, 1], [1.0, 2.0], 2)
+        mask = gb.Vector.from_lists([2], [True], 4, gb.BOOL)
+        assign(w, u, indices=[1, 2], mask=mask)
+        assert w.to_lists() == ([2], [2.0])
+
+    def test_assign_scalar_fills_region(self, backend):
+        w = gb.Vector.sparse(gb.FP64, 5)
+        assign_scalar(w, 7.0, indices=[0, 3])
+        assert w.to_lists() == ([0, 3], [7.0, 7.0])
+
+    def test_assign_scalar_all(self, backend):
+        w = gb.Vector.sparse(gb.FP64, 3)
+        assign_scalar(w, 1.0)
+        assert w.nvals == 3
+
+    def test_assign_scalar_accum(self, backend):
+        w = gb.Vector.from_lists([0], [1.0], 3)
+        assign_scalar(w, 10.0, indices=[0, 1], accum=PLUS)
+        assert w.to_lists() == ([0, 1], [11.0, 10.0])
+
+    def test_duplicate_indices_rejected(self, backend):
+        w = gb.Vector.sparse(gb.FP64, 4)
+        u = gb.Vector.sparse(gb.FP64, 2)
+        with pytest.raises(gb.InvalidValueError):
+            assign(w, u, indices=[1, 1])
+
+    def test_size_mismatch(self, backend):
+        w = gb.Vector.sparse(gb.FP64, 4)
+        with pytest.raises(gb.DimensionMismatchError):
+            assign(w, gb.Vector.sparse(gb.FP64, 3), indices=[0, 1])
+
+
+class TestAssignMatrix:
+    def test_submatrix_assign(self, backend):
+        c = gb.Matrix.sparse(gb.FP64, 3, 3)
+        a = gb.Matrix.from_dense(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        assign(c, a, indices=[0, 2], cols=[1, 2])
+        assert c.get(0, 1) == 1.0 and c.get(2, 2) == 4.0
+        assert c.nvals == 4
+
+    def test_region_clear_on_assign(self, backend):
+        c = gb.Matrix.from_lists([0, 1], [0, 1], [9.0, 8.0], 2, 2)
+        a = gb.Matrix.sparse(gb.FP64, 1, 1)  # empty source
+        assign(c, a, indices=[0], cols=[0])
+        assert (0, 0) not in c and c.get(1, 1) == 8.0
+
+    def test_scalar_region_matrix(self, backend):
+        c = gb.Matrix.sparse(gb.FP64, 3, 3)
+        assign_scalar(c, 5.0, indices=[0, 1], cols=[2])
+        assert c.get(0, 2) == 5.0 and c.get(1, 2) == 5.0 and c.nvals == 2
+
+    def test_assign_row(self, backend):
+        c = gb.Matrix.sparse(gb.FP64, 3, 4)
+        u = gb.Vector.from_lists([0, 3], [1.0, 4.0], 4)
+        assign_row(c, u, 1)
+        assert c.get(1, 0) == 1.0 and c.get(1, 3) == 4.0 and c.nvals == 2
+
+    def test_assign_col(self, backend):
+        c = gb.Matrix.sparse(gb.FP64, 4, 3)
+        u = gb.Vector.from_lists([1, 2], [5.0, 6.0], 4)
+        assign_col(c, u, 2)
+        assert c.get(1, 2) == 5.0 and c.get(2, 2) == 6.0
+
+    def test_assign_row_replaces_row_entries(self, backend):
+        c = gb.Matrix.from_lists([1, 1], [0, 2], [9.0, 9.0], 2, 3)
+        u = gb.Vector.from_lists([1], [1.0], 3)
+        assign_row(c, u, 1)
+        assert c.nvals == 1 and c.get(1, 1) == 1.0
+
+
+class TestTranspose:
+    def test_transpose(self, backend, rng):
+        from .conftest import random_dense_matrix
+
+        A = random_dense_matrix(rng, 4, 6)
+        c = gb.Matrix.sparse(gb.FP64, 6, 4)
+        ops.transpose(c, gb.Matrix.from_dense(A))
+        np.testing.assert_array_equal(c.to_dense(), A.T)
+
+    def test_transpose_with_tran_flag_is_identity(self, backend):
+        a = gb.Matrix.from_lists([0], [1], [2.0], 2, 2)
+        c = gb.Matrix.sparse(gb.FP64, 2, 2)
+        ops.transpose(c, a, desc=gb.TRANSPOSE_A)
+        assert c == a
+
+    def test_transpose_accum(self, backend):
+        a = gb.Matrix.from_lists([0], [1], [2.0], 2, 2)
+        c = gb.Matrix.from_lists([1], [0], [10.0], 2, 2)
+        ops.transpose(c, a, accum=PLUS)
+        assert c.get(1, 0) == 12.0
+
+
+class TestKronecker:
+    def test_small_kron(self, backend):
+        A = np.array([[1.0, 2.0]])
+        B = np.array([[0.0, 3.0], [4.0, 0.0]])
+        c = gb.Matrix.sparse(gb.FP64, 2, 4)
+        ops.kronecker(c, gb.Matrix.from_dense(A), gb.Matrix.from_dense(B), TIMES)
+        np.testing.assert_array_equal(c.to_dense(), np.kron(A, B))
+
+    def test_kron_shape_check(self, backend):
+        with pytest.raises(gb.DimensionMismatchError):
+            ops.kronecker(
+                gb.Matrix.sparse(gb.FP64, 3, 3),
+                gb.Matrix.sparse(gb.FP64, 2, 2),
+                gb.Matrix.sparse(gb.FP64, 2, 2),
+                TIMES,
+            )

@@ -1,0 +1,197 @@
+"""Less-travelled operation paths: combined descriptors, masked variants,
+degenerate shapes."""
+
+import numpy as np
+import pytest
+
+import repro as gb
+from repro.core import operations as ops
+from repro.core.assign import assign, assign_scalar
+from repro.core.descriptor import Descriptor
+from repro.core.monoid import MIN_MONOID, PLUS_MONOID
+from repro.core.operators import ABS, PLUS, TIMES, TRIL, VALUEGT
+from repro.core.semiring import MIN_PLUS, PLUS_TIMES
+
+
+class TestExtractVariants:
+    @pytest.fixture
+    def a(self):
+        return gb.Matrix.from_dense(np.arange(12, dtype=float).reshape(3, 4))
+
+    def test_extract_col_row_subset(self, backend, a):
+        w = gb.Vector.sparse(gb.FP64, 2)
+        ops.extract_col(w, a, 1, rows=[2, 0])
+        np.testing.assert_array_equal(w.to_dense(), [9.0, 1.0])
+
+    def test_extract_col_transposed_is_row(self, backend, a):
+        w = gb.Vector.sparse(gb.FP64, 4)
+        ops.extract_col(w, a, 1, desc=gb.TRANSPOSE_A)
+        np.testing.assert_array_equal(w.to_dense(), [4.0, 5.0, 6.0, 7.0])
+
+    def test_extract_row_col_subset(self, backend, a):
+        w = gb.Vector.sparse(gb.FP64, 2)
+        ops.extract_row(w, a, 2, cols=[3, 0])
+        np.testing.assert_array_equal(w.to_dense(), [11.0, 8.0])
+
+    def test_extract_with_accum(self, backend, a):
+        w = gb.Vector.from_lists([0], [100.0], 3)
+        ops.extract_col(w, a, 0, accum=PLUS)
+        assert w.get(0) == 100.0  # A[0,0] == 0 is implicit in from_dense
+        assert w.get(1) == 4.0
+
+    def test_extract_submatrix_masked(self, backend, a):
+        mask = gb.Matrix.from_lists([0], [0], [True], 2, 2, gb.BOOL)
+        c = gb.Matrix.sparse(gb.FP64, 2, 2)
+        ops.extract_submatrix(c, a, [1, 2], [1, 2], mask=mask)
+        assert c.nvals == 1 and c.get(0, 0) == 5.0
+
+
+class TestSelectVariants:
+    def test_select_matrix_with_mask_and_accum(self, backend):
+        a = gb.Matrix.from_dense(np.arange(1.0, 10.0).reshape(3, 3))
+        mask = gb.Matrix.from_lists([1, 2], [0, 1], [True, True], 3, 3, gb.BOOL)
+        c = gb.Matrix.from_lists([1], [0], [100.0], 3, 3)
+        ops.select(c, a, TRIL, thunk=-1, mask=mask, accum=PLUS)
+        assert c.get(1, 0) == 104.0
+        assert c.get(2, 1) == 8.0
+        assert c.get(2, 0) is None  # mask-false
+
+    def test_select_transposed_source(self, backend):
+        a = gb.Matrix.from_lists([0], [2], [9.0], 3, 3)
+        c = gb.Matrix.sparse(gb.FP64, 3, 3)
+        ops.select(c, a, TRIL, thunk=-1, desc=gb.TRANSPOSE_A)
+        assert c.get(2, 0) == 9.0
+
+
+class TestReduceVariants:
+    def test_reduce_to_vector_masked_accum(self, backend):
+        a = gb.Matrix.from_dense(np.ones((3, 2)))
+        w = gb.Vector.from_lists([0, 1], [10.0, 10.0], 3)
+        mask = gb.Vector.from_lists([1], [True], 3, gb.BOOL)
+        ops.reduce_to_vector(w, a, PLUS_MONOID, mask=mask, accum=PLUS)
+        assert w.get(1) == 12.0
+        assert w.get(0) == 10.0  # mask-false keeps old
+
+    def test_reduce_min_monoid_vector(self, backend):
+        u = gb.Vector.from_lists([0, 5], [3.0, -2.0], 8)
+        assert ops.reduce(u, MIN_MONOID) == -2.0
+
+    def test_reduce_scalar_out_without_accum_overwrites(self, backend):
+        u = gb.Vector.from_lists([0], [5.0], 2)
+        s = gb.Scalar(gb.FP64, 100.0)
+        ops.reduce(u, PLUS_MONOID, out=s)
+        assert s.value == 5.0
+
+
+class TestApplyVariants:
+    def test_apply_matrix_transposed(self, backend):
+        a = gb.Matrix.from_lists([0], [1], [-3.0], 2, 2)
+        c = gb.Matrix.sparse(gb.FP64, 2, 2)
+        ops.apply(c, a, ABS, desc=gb.TRANSPOSE_A)
+        assert c.get(1, 0) == 3.0
+
+    def test_apply_matrix_bind_with_mask(self, backend):
+        a = gb.Matrix.from_dense(np.ones((2, 2)))
+        mask = gb.Matrix.from_lists([0], [1], [True], 2, 2, gb.BOOL)
+        c = gb.Matrix.sparse(gb.FP64, 2, 2)
+        ops.apply(c, a, TIMES, bind_first=5.0, mask=mask)
+        assert c.nvals == 1 and c.get(0, 1) == 5.0
+
+    def test_index_op_matrix_thunk(self, backend):
+        a = gb.Matrix.from_dense(np.arange(1.0, 5.0).reshape(2, 2))
+        c = gb.Matrix.sparse(gb.BOOL, 2, 2)
+        ops.apply(c, a, gb.operators.DIAG, thunk=1)
+        # DIAG with thunk 1 marks the superdiagonal.
+        assert c.get(0, 1) == True and c.get(0, 0) == False  # noqa: E712
+
+
+class TestDegenerateShapes:
+    def test_zero_by_zero_matrix_ops(self, backend):
+        a = gb.Matrix.sparse(gb.FP64, 0, 0)
+        c = gb.Matrix.sparse(gb.FP64, 0, 0)
+        ops.mxm(c, a, a, PLUS_TIMES)
+        ops.ewise_add(c, a, a, PLUS)
+        ops.transpose(c, a)
+        assert c.nvals == 0
+
+    def test_empty_vector_ops(self, backend):
+        u = gb.Vector.sparse(gb.FP64, 0)
+        w = gb.Vector.sparse(gb.FP64, 0)
+        ops.ewise_mult(w, u, u, TIMES)
+        assert w.size == 0
+
+    def test_one_by_n(self, backend):
+        a = gb.Matrix.from_lists([0, 0], [0, 3], [1.0, 2.0], 1, 4)
+        u = gb.Vector.full(1.0, 4)
+        w = gb.Vector.sparse(gb.FP64, 1)
+        ops.mxv(w, a, u, PLUS_TIMES)
+        assert w.get(0) == 3.0
+
+    def test_kronecker_empty_operand(self, backend):
+        a = gb.Matrix.sparse(gb.FP64, 2, 2)
+        b = gb.Matrix.identity(2)
+        c = gb.Matrix.sparse(gb.FP64, 4, 4)
+        ops.kronecker(c, a, b, TIMES)
+        assert c.nvals == 0
+
+
+class TestAssignVariants:
+    def test_assign_matrix_with_structural_mask(self, backend):
+        c = gb.Matrix.sparse(gb.FP64, 3, 3)
+        src = gb.Matrix.from_dense(np.ones((2, 2)))
+        mask = gb.Matrix.from_lists([0], [0], [False], 3, 3, gb.BOOL)
+        assign(
+            c,
+            src,
+            indices=[0, 1],
+            cols=[0, 1],
+            mask=mask,
+            desc=gb.STRUCTURE_MASK,
+        )
+        assert c.nvals == 1 and c.get(0, 0) == 1.0
+
+    def test_assign_replace_clears_masked_false_in_region(self, backend):
+        c = gb.Vector.from_lists([0, 1, 3], [9.0, 9.0, 9.0], 4)
+        src = gb.Vector.from_lists([0, 1], [1.0, 1.0], 2)
+        mask = gb.Vector.from_lists([0], [True], 4, gb.BOOL)
+        assign(c, src, indices=[0, 1], mask=mask, desc=gb.REPLACE)
+        # Position 0: mask-true, gets 1.0. Position 1: in region, mask
+        # false, replace clears it. Position 3: outside region, untouched.
+        assert c.to_lists() == ([0, 3], [1.0, 9.0])
+
+    def test_assign_scalar_accum_masked(self, backend):
+        w = gb.Vector.from_lists([0, 1], [1.0, 1.0], 3)
+        mask = gb.Vector.from_lists([0], [True], 3, gb.BOOL)
+        assign_scalar(w, 10.0, indices=[0, 1], mask=mask, accum=PLUS)
+        assert w.get(0) == 11.0 and w.get(1) == 1.0
+
+    def test_assign_into_zero_size(self, backend):
+        w = gb.Vector.sparse(gb.FP64, 0)
+        assign_scalar(w, 1.0, indices=[])
+        assert w.nvals == 0
+
+
+class TestMaskedProductsMorePaths:
+    def test_mxv_valued_complement_mask_no_pruning(self, backend):
+        # Complement masks disable pruning; result must still be exact.
+        a = gb.Matrix.from_dense(np.ones((5, 5)))
+        u = gb.Vector.full(1.0, 5)
+        mask = gb.Vector.from_lists([0, 1], [True, False], 5, gb.BOOL)
+        w = gb.Vector.sparse(gb.FP64, 5)
+        ops.mxv(w, a, u, PLUS_TIMES, mask=mask, desc=gb.COMP_MASK)
+        assert sorted(w.to_lists()[0]) == [1, 2, 3, 4]
+
+    def test_vxm_masked_pull_with_valued_mask(self, backend):
+        a = gb.Matrix.from_dense(np.eye(4) + np.diag(np.ones(3), 1))
+        u = gb.Vector.full(1.0, 4)
+        mask = gb.Vector.from_lists([1, 2], [True, False], 4, gb.BOOL)
+        w = gb.Vector.sparse(gb.FP64, 4)
+        ops.vxm(w, u, a, MIN_PLUS, mask=mask, direction="pull")
+        assert w.to_lists()[0] == [1]
+
+    def test_mxv_push_empty_frontier(self, backend):
+        a = gb.Matrix.from_dense(np.ones((3, 3)))
+        u = gb.Vector.sparse(gb.FP64, 3)
+        w = gb.Vector.sparse(gb.FP64, 3)
+        ops.mxv(w, a, u, PLUS_TIMES, direction="push")
+        assert w.nvals == 0

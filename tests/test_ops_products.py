@@ -1,0 +1,228 @@
+"""mxv / vxm / mxm semantics, validated against dense NumPy on all backends."""
+
+import numpy as np
+import pytest
+
+import repro as gb
+from repro.core import operations as ops
+from repro.core.semiring import (
+    LOR_LAND,
+    MAX_SECOND,
+    MIN_FIRST,
+    MIN_PLUS,
+    PLUS_PAIR,
+    PLUS_TIMES,
+)
+
+from .conftest import random_dense_matrix, random_dense_vector
+
+
+def dense_mxv_plus_times(A, u):
+    """Sparse-aware dense reference: output present iff some product exists."""
+    out = np.zeros(A.shape[0])
+    present = np.zeros(A.shape[0], dtype=bool)
+    for i in range(A.shape[0]):
+        for j in range(A.shape[1]):
+            if A[i, j] != 0 and u[j] != 0:
+                out[i] += A[i, j] * u[j]
+                present[i] = True
+    return out, present
+
+
+def dense_mxv_min_plus(A, u):
+    out = np.full(A.shape[0], np.inf)
+    present = np.zeros(A.shape[0], dtype=bool)
+    for i in range(A.shape[0]):
+        for j in range(A.shape[1]):
+            if A[i, j] != 0 and u[j] != 0:
+                out[i] = min(out[i], A[i, j] + u[j])
+                present[i] = True
+    return out, present
+
+
+class TestMxv:
+    def test_plus_times_matches_dense(self, backend, rng):
+        A = random_dense_matrix(rng, 8, 6)
+        u = random_dense_vector(rng, 6)
+        a = gb.Matrix.from_dense(A)
+        v = gb.Vector.from_dense(u)
+        w = gb.Vector.sparse(gb.FP64, 8)
+        ops.mxv(w, a, v, PLUS_TIMES)
+        expect, present = dense_mxv_plus_times(A, u)
+        np.testing.assert_array_equal(w.to_dense(0) != 0, present | (w.to_dense(0) != 0))
+        for i in range(8):
+            if present[i]:
+                assert abs(w.get(i, 0.0) - expect[i]) < 1e-9
+            else:
+                assert i not in w
+
+    def test_min_plus(self, backend, rng):
+        A = random_dense_matrix(rng, 7, 7, density=0.4)
+        u = random_dense_vector(rng, 7)
+        w = gb.Vector.sparse(gb.FP64, 7)
+        ops.mxv(w, gb.Matrix.from_dense(A), gb.Vector.from_dense(u), MIN_PLUS)
+        expect, present = dense_mxv_min_plus(A, u)
+        for i in range(7):
+            if present[i]:
+                assert abs(w.get(i) - expect[i]) < 1e-9
+            else:
+                assert i not in w
+
+    def test_empty_vector_gives_empty(self, backend):
+        a = gb.Matrix.from_dense(np.ones((3, 3)))
+        w = gb.Vector.sparse(gb.FP64, 3)
+        ops.mxv(w, a, gb.Vector.sparse(gb.FP64, 3), PLUS_TIMES)
+        assert w.nvals == 0
+
+    def test_dim_mismatch(self, backend):
+        a = gb.Matrix.sparse(gb.FP64, 3, 4)
+        with pytest.raises(gb.DimensionMismatchError):
+            ops.mxv(gb.Vector.sparse(gb.FP64, 3), a, gb.Vector.sparse(gb.FP64, 3))
+        with pytest.raises(gb.DimensionMismatchError):
+            ops.mxv(gb.Vector.sparse(gb.FP64, 2), a, gb.Vector.sparse(gb.FP64, 4))
+
+    def test_transpose_a(self, backend, rng):
+        A = random_dense_matrix(rng, 5, 7)
+        u = random_dense_vector(rng, 5, density=0.8)
+        w = gb.Vector.sparse(gb.FP64, 7)
+        ops.mxv(w, gb.Matrix.from_dense(A), gb.Vector.from_dense(u), PLUS_TIMES, desc=gb.TRANSPOSE_A)
+        expect, present = dense_mxv_plus_times(A.T, u)
+        for i in range(7):
+            if present[i]:
+                assert abs(w.get(i) - expect[i]) < 1e-9
+
+    @pytest.mark.parametrize("direction", ["push", "pull"])
+    def test_push_pull_same_result(self, backend, rng, direction):
+        A = random_dense_matrix(rng, 9, 9, density=0.3)
+        u = random_dense_vector(rng, 9, density=0.3)
+        a = gb.Matrix.from_dense(A)
+        v = gb.Vector.from_dense(u)
+        w = gb.Vector.sparse(gb.FP64, 9)
+        ops.mxv(w, a, v, PLUS_TIMES, direction=direction)
+        w_auto = gb.Vector.sparse(gb.FP64, 9)
+        ops.mxv(w_auto, a, v, PLUS_TIMES, direction="auto")
+        assert w == w_auto
+
+    def test_masked_mxv_only_writes_mask_true(self, backend):
+        a = gb.Matrix.from_dense(np.ones((4, 4)))
+        u = gb.Vector.from_dense(np.ones(4))
+        mask = gb.Vector.from_lists([0, 2], [True, True], 4, gb.BOOL)
+        w = gb.Vector.sparse(gb.FP64, 4)
+        ops.mxv(w, a, u, PLUS_TIMES, mask=mask)
+        assert sorted(w.to_lists()[0]) == [0, 2]
+        assert w.get(0) == 4.0
+
+
+class TestVxm:
+    def test_matches_transposed_mxv(self, backend, rng):
+        A = random_dense_matrix(rng, 6, 8)
+        u = random_dense_vector(rng, 6)
+        a = gb.Matrix.from_dense(A)
+        v = gb.Vector.from_dense(u)
+        w1 = gb.Vector.sparse(gb.FP64, 8)
+        ops.vxm(w1, v, a, PLUS_TIMES)
+        w2 = gb.Vector.sparse(gb.FP64, 8)
+        ops.mxv(w2, a, v, PLUS_TIMES, desc=gb.TRANSPOSE_A)
+        assert w1 == w2
+
+    def test_non_commutative_mult_order(self, backend):
+        # vxm must compute mult(u_k, A_kj): with FIRST the result is u's value.
+        a = gb.Matrix.from_lists([0], [1], [99.0], 2, 2)
+        u = gb.Vector.from_lists([0], [7.0], 2)
+        w = gb.Vector.sparse(gb.FP64, 2)
+        ops.vxm(w, u, a, MIN_FIRST)
+        assert w.get(1) == 7.0
+
+    def test_mxv_non_commutative_mult_order(self, backend):
+        # mxv must compute mult(A_ij, u_j): with FIRST the result is A's value.
+        a = gb.Matrix.from_lists([0], [1], [99.0], 2, 2)
+        u = gb.Vector.from_lists([1], [7.0], 2)
+        w = gb.Vector.sparse(gb.FP64, 2)
+        ops.mxv(w, a, u, MIN_FIRST)
+        assert w.get(0) == 99.0
+
+    @pytest.mark.parametrize("direction", ["push", "pull"])
+    def test_directions_agree(self, backend, rng, direction):
+        A = random_dense_matrix(rng, 9, 9, density=0.3)
+        u = random_dense_vector(rng, 9, density=0.4)
+        w = gb.Vector.sparse(gb.FP64, 9)
+        ops.vxm(w, gb.Vector.from_dense(u), gb.Matrix.from_dense(A), MIN_PLUS, direction=direction)
+        w2 = gb.Vector.sparse(gb.FP64, 9)
+        ops.vxm(w2, gb.Vector.from_dense(u), gb.Matrix.from_dense(A), MIN_PLUS, direction="pull")
+        assert w == w2
+
+
+class TestMxm:
+    def test_plus_times_matches_numpy(self, backend, rng):
+        A = random_dense_matrix(rng, 6, 5)
+        B = random_dense_matrix(rng, 5, 7)
+        c = gb.Matrix.sparse(gb.FP64, 6, 7)
+        ops.mxm(c, gb.Matrix.from_dense(A), gb.Matrix.from_dense(B), PLUS_TIMES)
+        np.testing.assert_allclose(c.to_dense(), A @ B, atol=1e-9)
+
+    def test_bool_semiring_reachability(self, backend):
+        A = np.array([[0, 1, 0], [0, 0, 1], [0, 0, 0]], dtype=float)
+        c = gb.Matrix.sparse(gb.BOOL, 3, 3)
+        ops.mxm(c, gb.Matrix.from_dense(A), gb.Matrix.from_dense(A), LOR_LAND)
+        assert c.get(0, 2) == True  # noqa: E712
+        assert c.nvals == 1
+
+    def test_inner_dim_mismatch(self, backend):
+        with pytest.raises(gb.DimensionMismatchError):
+            ops.mxm(
+                gb.Matrix.sparse(gb.FP64, 2, 2),
+                gb.Matrix.sparse(gb.FP64, 2, 3),
+                gb.Matrix.sparse(gb.FP64, 4, 2),
+            )
+
+    def test_output_shape_mismatch(self, backend):
+        with pytest.raises(gb.DimensionMismatchError):
+            ops.mxm(
+                gb.Matrix.sparse(gb.FP64, 3, 3),
+                gb.Matrix.sparse(gb.FP64, 2, 3),
+                gb.Matrix.sparse(gb.FP64, 3, 2),
+            )
+
+    def test_transpose_b(self, backend, rng):
+        A = random_dense_matrix(rng, 4, 5)
+        B = random_dense_matrix(rng, 6, 5)
+        c = gb.Matrix.sparse(gb.FP64, 4, 6)
+        ops.mxm(c, gb.Matrix.from_dense(A), gb.Matrix.from_dense(B), PLUS_TIMES, desc=gb.TRANSPOSE_B)
+        np.testing.assert_allclose(c.to_dense(), A @ B.T, atol=1e-9)
+
+    def test_transpose_both(self, backend, rng):
+        A = random_dense_matrix(rng, 5, 4)
+        B = random_dense_matrix(rng, 6, 5)
+        c = gb.Matrix.sparse(gb.FP64, 4, 6)
+        ops.mxm(
+            c,
+            gb.Matrix.from_dense(A),
+            gb.Matrix.from_dense(B),
+            PLUS_TIMES,
+            desc=gb.TRANSPOSE_AB,
+        )
+        np.testing.assert_allclose(c.to_dense(), A.T @ B.T, atol=1e-9)
+
+    def test_masked_mxm_structure(self, backend):
+        A = np.ones((3, 3))
+        mask = gb.Matrix.from_lists([0, 1], [0, 2], [True, True], 3, 3, gb.BOOL)
+        c = gb.Matrix.sparse(gb.FP64, 3, 3)
+        ops.mxm(c, gb.Matrix.from_dense(A), gb.Matrix.from_dense(A), PLUS_TIMES, mask=mask, desc=gb.STRUCTURE_MASK)
+        assert c.nvals == 2 and c.get(0, 0) == 3.0
+
+    def test_plus_pair_counts_intersections(self, backend):
+        A = np.array([[1.0, 1.0, 0.0], [0.0, 1.0, 1.0]])
+        B = A.T
+        c = gb.Matrix.sparse(gb.INT64, 2, 2)
+        ops.mxm(c, gb.Matrix.from_dense(A), gb.Matrix.from_dense(B), PLUS_PAIR)
+        assert c.get(0, 1) == 1  # one shared column
+        assert c.get(0, 0) == 2
+
+    def test_mxm_accumulate(self, backend):
+        a = gb.Matrix.from_dense(np.eye(2))
+        c = gb.Matrix.from_dense(np.array([[1.0, 0.0], [0.0, 0.0]]))
+        from repro.core.operators import PLUS
+
+        ops.mxm(c, a, a, PLUS_TIMES, accum=PLUS)
+        assert c.get(0, 0) == 2.0
+        assert c.get(1, 1) == 1.0

@@ -1,0 +1,166 @@
+"""Hypothesis property tests on algorithm-level invariants.
+
+These check *mathematical* properties that must hold on any graph, rather
+than comparing to an oracle: triangle-inequality style bounds between BFS
+and SSSP, partition laws for components, independence/maximality for MIS,
+and tree properties for MST.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro as gb
+from repro.algorithms import (
+    bfs_levels,
+    bfs_parents,
+    connected_components,
+    mis,
+    mst_prim,
+    sssp,
+    triangle_count,
+    verify_mis,
+)
+
+
+@st.composite
+def random_graphs(draw, max_n=24, weighted=False):
+    n = draw(st.integers(2, max_n))
+    n_edges = draw(st.integers(0, 3 * n))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=n_edges, max_size=n_edges))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=n_edges, max_size=n_edges))
+    seed = draw(st.integers(0, 2**31))
+    from repro.generators import finalize_edges
+
+    return finalize_edges(
+        n,
+        np.asarray(src, dtype=np.int64),
+        np.asarray(dst, dtype=np.int64),
+        weighted=weighted,
+        directed=False,
+        seed=seed,
+    )
+
+
+class TestBfsProperties:
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_levels_differ_by_at_most_one_across_edges(self, g):
+        levels = bfs_levels(g, 0)
+        lv = levels.to_dense(-1)
+        r, c, _ = g.to_lists()
+        for i, j in zip(r, c):
+            if lv[i] >= 0:
+                # j is reachable via i, so level(j) <= level(i) + 1.
+                assert 0 <= lv[j] <= lv[i] + 1
+
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_parents_consistent_with_levels(self, g):
+        levels = bfs_levels(g, 0)
+        parents = bfs_parents(g, 0)
+        assert parents.nvals == levels.nvals
+        for v, p in zip(*parents.to_lists()):
+            if v == 0:
+                assert p == 0
+            else:
+                assert levels.get(int(v)) == levels.get(int(p)) + 1
+
+    @given(random_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_levels_lower_bound_sssp_hops(self, g):
+        # With unit weights, SSSP distance equals BFS level.
+        levels = bfs_levels(g, 0)
+        dist = sssp(g, 0)
+        assert dist.nvals == levels.nvals
+        for v, lvl in zip(*levels.to_lists()):
+            assert dist.get(int(v)) == float(lvl)
+
+
+class TestSsspProperties:
+    @given(random_graphs(weighted=True))
+    @settings(max_examples=30, deadline=None)
+    def test_edge_relaxation_fixpoint(self, g):
+        # d is a fixpoint: d[j] <= d[i] + w(i,j) for every edge.
+        d = sssp(g, 0)
+        dd = d.to_dense(np.inf)
+        r, c, v = g.to_lists()
+        for i, j, w in zip(r, c, v):
+            assert dd[j] <= dd[i] + w + 1e-9
+
+    @given(random_graphs(weighted=True))
+    @settings(max_examples=30, deadline=None)
+    def test_source_distance_zero(self, g):
+        assert sssp(g, 0).get(0) == 0.0
+
+
+class TestComponentProperties:
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_labels_constant_on_edges(self, g):
+        labels = connected_components(g).to_dense(-1)
+        r, c, _ = g.to_lists()
+        for i, j in zip(r, c):
+            assert labels[i] == labels[j]
+
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_label_is_member_minimum(self, g):
+        labels = connected_components(g).to_dense(-1)
+        for v in range(g.nrows):
+            members = np.flatnonzero(labels == labels[v])
+            assert labels[v] == members.min()
+
+    @given(random_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_bfs_reaches_exactly_source_component(self, g):
+        labels = connected_components(g).to_dense(-1)
+        reached = set(bfs_levels(g, 0).to_lists()[0])
+        component = set(np.flatnonzero(labels == labels[0]).tolist())
+        assert reached == component
+
+
+class TestMisProperties:
+    @given(random_graphs(), st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_always_valid(self, g, seed):
+        s = mis(g, seed=seed)
+        assert verify_mis(g, s)
+
+
+class TestMstProperties:
+    @given(random_graphs(weighted=True))
+    @settings(max_examples=25, deadline=None)
+    def test_tree_size_and_connectivity(self, g):
+        total, parents = mst_prim(g, 0)
+        comp = set(bfs_levels(g, 0).to_lists()[0])
+        # Tree covers exactly the source component; n-1 edges => parents
+        # has one entry per covered vertex (root self-loop included).
+        assert set(parents.to_lists()[0]) == comp
+        # Following parents always terminates at the root.
+        pd = dict(zip(*parents.to_lists()))
+        for v in comp:
+            seen = set()
+            while v != 0:
+                assert v not in seen, "cycle in MST parents"
+                seen.add(v)
+                v = int(pd[v])
+
+    @given(random_graphs(weighted=True))
+    @settings(max_examples=20, deadline=None)
+    def test_weight_nonnegative_and_bounded(self, g):
+        total, parents = mst_prim(g, 0)
+        assert total >= 0.0
+        # Total is at most the sum of all edge weights.
+        assert total <= float(np.sum(g.to_lists()[2])) + 1e-9
+
+
+class TestTriangleProperties:
+    @given(random_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_count_matches_dense_trace_formula(self, g):
+        # triangles = trace(A³) / 6 for simple undirected graphs.
+        a = g.to_dense(0.0)
+        a = (a != 0).astype(float)
+        expected = int(round(np.trace(a @ a @ a) / 6))
+        assert triangle_count(g) == expected

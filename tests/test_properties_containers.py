@@ -1,0 +1,151 @@
+"""Hypothesis property tests on the sparse containers."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.containers.coo import COO
+from repro.containers.csr import CSRMatrix
+from repro.containers.sparsevec import SparseVector
+from repro.core.operators import PLUS
+from repro.types import FP64
+
+
+@st.composite
+def dense_matrices(draw, max_dim=12):
+    nrows = draw(st.integers(0, max_dim))
+    ncols = draw(st.integers(0, max_dim))
+    elems = st.floats(
+        min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+    )
+    data = draw(
+        st.lists(elems, min_size=nrows * ncols, max_size=nrows * ncols)
+    )
+    m = np.array(data, dtype=np.float64).reshape(nrows, ncols)
+    # Sparsify ~half the entries.
+    mask = draw(
+        st.lists(st.booleans(), min_size=nrows * ncols, max_size=nrows * ncols)
+    )
+    m[np.array(mask, dtype=bool).reshape(nrows, ncols)] = 0.0
+    return m
+
+
+@st.composite
+def dense_vectors(draw, max_dim=30):
+    n = draw(st.integers(0, max_dim))
+    elems = st.floats(
+        min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+    )
+    data = draw(st.lists(elems, min_size=n, max_size=n))
+    v = np.array(data, dtype=np.float64)
+    mask = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    v[np.array(mask, dtype=bool)] = 0.0
+    return v
+
+
+class TestCSRProperties:
+    @given(dense_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_from_dense_roundtrip(self, m):
+        csr = CSRMatrix.from_dense(m)
+        csr.validate()
+        np.testing.assert_array_equal(csr.to_dense(), m)
+
+    @given(dense_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_transpose_involution(self, m):
+        csr = CSRMatrix.from_dense(m)
+        tt = csr.transpose().transpose()
+        tt.validate()
+        np.testing.assert_array_equal(tt.to_dense(), m)
+
+    @given(dense_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_transpose_matches_numpy(self, m):
+        t = CSRMatrix.from_dense(m).transpose()
+        np.testing.assert_array_equal(t.to_dense(), m.T)
+
+    @given(dense_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_coo_roundtrip_preserves(self, m):
+        csr = CSRMatrix.from_dense(m)
+        back = CSRMatrix.from_coo(csr.to_coo())
+        back.validate()
+        np.testing.assert_array_equal(back.to_dense(), m)
+
+    @given(dense_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_nvals_equals_nonzeros(self, m):
+        assert CSRMatrix.from_dense(m).nvals == np.count_nonzero(m)
+
+
+class TestSparseVectorProperties:
+    @given(dense_vectors())
+    @settings(max_examples=60, deadline=None)
+    def test_from_dense_roundtrip(self, v):
+        sv = SparseVector.from_dense(v)
+        sv.validate()
+        np.testing.assert_array_equal(sv.to_dense(), v)
+
+    @given(dense_vectors())
+    @settings(max_examples=60, deadline=None)
+    def test_indices_strictly_increasing(self, v):
+        sv = SparseVector.from_dense(v)
+        assert np.all(np.diff(sv.indices) > 0) or sv.nvals <= 1
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 19), st.floats(-10, 10, allow_nan=False)),
+            max_size=50,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_build_with_plus_dup_matches_dense_scatter_add(self, pairs):
+        idx = [i for i, _ in pairs]
+        vals = [v for _, v in pairs]
+        sv = SparseVector.from_lists(20, idx, vals, FP64, dup=PLUS)
+        sv.validate()
+        dense = np.zeros(20)
+        np.add.at(dense, idx, vals)
+        # Positions that were touched are present even if the sum is 0.0.
+        for i in set(idx):
+            assert sv.get(i) is not None
+            np.testing.assert_allclose(float(sv.get(i)), dense[i], atol=1e-9)
+
+
+class TestCOOProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 9),
+                st.integers(0, 9),
+                st.floats(-10, 10, allow_nan=False),
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_dedupe_plus_matches_dense(self, trips):
+        rows = np.array([t[0] for t in trips], dtype=np.int64)
+        cols = np.array([t[1] for t in trips], dtype=np.int64)
+        vals = np.array([t[2] for t in trips], dtype=np.float64)
+        coo = COO(10, 10, rows, cols, vals).deduped(PLUS)
+        dense = np.zeros((10, 10))
+        np.add.at(dense, (rows, cols), vals)
+        got = CSRMatrix.from_coo(coo).to_dense()
+        np.testing.assert_allclose(got, dense, atol=1e-9)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 9), st.integers(0, 9)),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_dedupe_output_is_canonical(self, pairs):
+        rows = np.array([p[0] for p in pairs], dtype=np.int64)
+        cols = np.array([p[1] for p in pairs], dtype=np.int64)
+        vals = np.ones(len(pairs))
+        coo = COO(10, 10, rows, cols, vals).deduped(PLUS)
+        keys = coo.rows * 10 + coo.cols
+        assert np.all(np.diff(keys) > 0) or coo.nvals <= 1

@@ -1,0 +1,170 @@
+"""Hypothesis property tests on GraphBLAS operation semantics.
+
+Invariants tested against dense NumPy oracles and algebraic laws:
+- mxv/mxm over (PLUS, TIMES) match dense products on the present pattern;
+- eWiseAdd is commutative for commutative ops; eWiseMult intersects;
+- masks partition output (mask ∪ complement = unmasked, disjoint);
+- transpose distributes over ewise ops.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro as gb
+from repro.core import operations as ops
+from repro.core.operators import MAX, MIN, PLUS, TIMES
+from repro.core.semiring import MIN_PLUS, PLUS_TIMES
+
+
+@st.composite
+def sparse_pair(draw, n=15):
+    """Two dense arrays of the same size with zeros as implicit."""
+    elems = st.floats(min_value=-50, max_value=50, allow_nan=False)
+    a = np.array(draw(st.lists(elems, min_size=n, max_size=n)))
+    b = np.array(draw(st.lists(elems, min_size=n, max_size=n)))
+    za = np.array(draw(st.lists(st.booleans(), min_size=n, max_size=n)), dtype=bool)
+    zb = np.array(draw(st.lists(st.booleans(), min_size=n, max_size=n)), dtype=bool)
+    a[za] = 0.0
+    b[zb] = 0.0
+    return a, b
+
+
+@st.composite
+def small_system(draw, m=8, n=6):
+    elems = st.floats(min_value=-20, max_value=20, allow_nan=False)
+    A = np.array(draw(st.lists(elems, min_size=m * n, max_size=m * n))).reshape(m, n)
+    u = np.array(draw(st.lists(elems, min_size=n, max_size=n)))
+    zA = np.array(
+        draw(st.lists(st.booleans(), min_size=m * n, max_size=m * n)), dtype=bool
+    ).reshape(m, n)
+    zu = np.array(draw(st.lists(st.booleans(), min_size=n, max_size=n)), dtype=bool)
+    A[zA] = 0.0
+    u[zu] = 0.0
+    return A, u
+
+
+class TestProductProperties:
+    @given(small_system())
+    @settings(max_examples=50, deadline=None)
+    def test_mxv_plus_times_matches_dense_on_pattern(self, sys):
+        A, u = sys
+        w = gb.Vector.sparse(gb.FP64, A.shape[0])
+        ops.mxv(w, gb.Matrix.from_dense(A), gb.Vector.from_dense(u), PLUS_TIMES)
+        dense = A @ u
+        for i, v in zip(*w.to_lists()):
+            np.testing.assert_allclose(v, dense[i], atol=1e-8)
+        # Absent rows have no present products.
+        present = set(w.to_lists()[0])
+        for i in range(A.shape[0]):
+            if i not in present:
+                assert not np.any((A[i] != 0) & (u != 0))
+
+    @given(small_system())
+    @settings(max_examples=50, deadline=None)
+    def test_mxv_min_plus_upper_bounded_by_any_product(self, sys):
+        A, u = sys
+        w = gb.Vector.sparse(gb.FP64, A.shape[0])
+        ops.mxv(w, gb.Matrix.from_dense(A), gb.Vector.from_dense(u), MIN_PLUS)
+        for i, v in zip(*w.to_lists()):
+            candidates = [
+                A[i, j] + u[j]
+                for j in range(A.shape[1])
+                if A[i, j] != 0 and u[j] != 0
+            ]
+            assert v == min(candidates)
+
+    @given(small_system())
+    @settings(max_examples=30, deadline=None)
+    def test_vxm_equals_mxv_of_transpose(self, sys):
+        A, u = sys
+        At = A.T  # u has size n = A.ncols; vxm needs u over rows
+        w1 = gb.Vector.sparse(gb.FP64, A.shape[0])
+        ops.vxm(w1, gb.Vector.from_dense(u), gb.Matrix.from_dense(At), PLUS_TIMES)
+        w2 = gb.Vector.sparse(gb.FP64, A.shape[0])
+        ops.mxv(w2, gb.Matrix.from_dense(A), gb.Vector.from_dense(u), PLUS_TIMES)
+        assert w1.to_lists()[0] == w2.to_lists()[0]
+        np.testing.assert_allclose(w1.values_array(), w2.values_array(), atol=1e-9)
+
+
+class TestEwiseProperties:
+    @given(sparse_pair())
+    @settings(max_examples=60, deadline=None)
+    def test_add_commutative_for_plus(self, pair):
+        a, b = pair
+        va, vb = gb.Vector.from_dense(a), gb.Vector.from_dense(b)
+        w1 = gb.Vector.sparse(gb.FP64, a.size)
+        ops.ewise_add(w1, va, vb, PLUS)
+        w2 = gb.Vector.sparse(gb.FP64, a.size)
+        ops.ewise_add(w2, vb, va, PLUS)
+        assert w1 == w2
+
+    @given(sparse_pair())
+    @settings(max_examples=60, deadline=None)
+    def test_add_structure_is_union(self, pair):
+        a, b = pair
+        w = gb.Vector.sparse(gb.FP64, a.size)
+        ops.ewise_add(w, gb.Vector.from_dense(a), gb.Vector.from_dense(b), MIN)
+        expected = set(np.flatnonzero(a)) | set(np.flatnonzero(b))
+        assert set(w.to_lists()[0]) == expected
+
+    @given(sparse_pair())
+    @settings(max_examples=60, deadline=None)
+    def test_mult_structure_is_intersection(self, pair):
+        a, b = pair
+        w = gb.Vector.sparse(gb.FP64, a.size)
+        ops.ewise_mult(w, gb.Vector.from_dense(a), gb.Vector.from_dense(b), TIMES)
+        expected = set(np.flatnonzero(a)) & set(np.flatnonzero(b))
+        assert set(w.to_lists()[0]) == expected
+
+    @given(sparse_pair())
+    @settings(max_examples=40, deadline=None)
+    def test_add_max_idempotent(self, pair):
+        a, _ = pair
+        va = gb.Vector.from_dense(a)
+        w = gb.Vector.sparse(gb.FP64, a.size)
+        ops.ewise_add(w, va, va, MAX)
+        assert w == va
+
+
+class TestMaskProperties:
+    @given(sparse_pair(), st.lists(st.integers(0, 14), max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_mask_and_complement_partition(self, pair, mask_idx):
+        a, _ = pair
+        src = gb.Vector.from_dense(a)
+        mask = gb.Vector.from_lists(
+            sorted(set(mask_idx)), [True] * len(set(mask_idx)), a.size, gb.BOOL
+        )
+        from repro.core.operators import IDENTITY
+
+        w_m = gb.Vector.sparse(gb.FP64, a.size)
+        ops.apply(w_m, src, IDENTITY, mask=mask)
+        w_c = gb.Vector.sparse(gb.FP64, a.size)
+        ops.apply(w_c, src, IDENTITY, mask=mask, desc=gb.COMP_MASK)
+        got = set(w_m.to_lists()[0]) | set(w_c.to_lists()[0])
+        assert got == set(np.flatnonzero(a))
+        assert not (set(w_m.to_lists()[0]) & set(w_c.to_lists()[0]))
+
+
+class TestTransposeProperties:
+    @given(st.integers(0, 400))
+    @settings(max_examples=30, deadline=None)
+    def test_transpose_distributes_over_ewise_add(self, seed):
+        rng = np.random.default_rng(seed)
+        A = rng.random((6, 8))
+        B = rng.random((6, 8))
+        A[A < 0.5] = 0
+        B[B < 0.5] = 0
+        ma, mb = gb.Matrix.from_dense(A), gb.Matrix.from_dense(B)
+        lhs = gb.Matrix.sparse(gb.FP64, 8, 6)
+        tmp = gb.Matrix.sparse(gb.FP64, 6, 8)
+        ops.ewise_add(tmp, ma, mb, PLUS)
+        ops.transpose(lhs, tmp)
+        rhs = gb.Matrix.sparse(gb.FP64, 8, 6)
+        ta = gb.Matrix.sparse(gb.FP64, 8, 6)
+        tb = gb.Matrix.sparse(gb.FP64, 8, 6)
+        ops.transpose(ta, ma)
+        ops.transpose(tb, mb)
+        ops.ewise_add(rhs, ta, tb, PLUS)
+        assert lhs == rhs

@@ -1,0 +1,104 @@
+"""Unit tests for the reference backend's dict kernels (the oracle itself)."""
+
+import numpy as np
+import pytest
+
+from repro.backends.reference.kernels import (
+    dict_to_mat,
+    dict_to_vec,
+    ewise_intersect_dict,
+    ewise_union_dict,
+    mat_to_dict,
+    spgemm_dict,
+    spmv_dict,
+    vec_to_dict,
+)
+from repro.containers.csr import CSRMatrix
+from repro.containers.sparsevec import SparseVector
+from repro.core.operators import MIN, PLUS, SECOND
+from repro.core.semiring import MIN_PLUS, PLUS_TIMES
+from repro.types import FP64
+
+
+class TestConversions:
+    def test_vec_roundtrip(self):
+        v = SparseVector.from_lists(6, [4, 1], [40.0, 10.0])
+        d = vec_to_dict(v)
+        assert d == {1: 10.0, 4: 40.0}
+        back = dict_to_vec(d, 6, FP64)
+        np.testing.assert_array_equal(back.indices, v.indices)
+        np.testing.assert_array_equal(back.values, v.values)
+
+    def test_mat_roundtrip(self):
+        m = CSRMatrix.from_dense(np.array([[0, 1.0], [2.0, 0]]))
+        d = mat_to_dict(m)
+        assert d == {0: {1: 1.0}, 1: {0: 2.0}}
+        back = dict_to_mat(d, 2, 2, FP64)
+        np.testing.assert_array_equal(back.to_dense(), m.to_dense())
+
+    def test_empty(self):
+        assert vec_to_dict(SparseVector.empty(3, FP64)) == {}
+        assert dict_to_vec({}, 3, FP64).nvals == 0
+        assert mat_to_dict(CSRMatrix.empty(2, 2, FP64)) == {}
+
+
+class TestSpmvDict:
+    def test_plus_times(self):
+        a = {0: {0: 2.0, 1: 3.0}, 1: {1: 4.0}}
+        u = {0: 1.0, 1: 10.0}
+        out = spmv_dict(a, u, PLUS_TIMES, FP64)
+        assert out == {0: 32.0, 1: 40.0}
+
+    def test_min_plus(self):
+        a = {0: {0: 2.0, 1: 3.0}}
+        u = {0: 5.0, 1: 1.0}
+        out = spmv_dict(a, u, MIN_PLUS, FP64)
+        assert out == {0: 4.0}
+
+    def test_no_intersection_no_entry(self):
+        a = {0: {0: 2.0}}
+        u = {1: 1.0}
+        assert spmv_dict(a, u, PLUS_TIMES, FP64) == {}
+
+    def test_iterates_smaller_side(self):
+        # Both orders give the same result (the code branches on size).
+        a = {0: {j: 1.0 for j in range(10)}}
+        small_u = {3: 2.0}
+        big_u = {j: 2.0 for j in range(10)}
+        assert spmv_dict(a, small_u, PLUS_TIMES, FP64) == {0: 2.0}
+        assert spmv_dict(a, big_u, PLUS_TIMES, FP64) == {0: 20.0}
+
+
+class TestSpgemmDict:
+    def test_gustavson(self):
+        a = {0: {0: 1.0, 1: 2.0}}
+        b = {0: {0: 3.0}, 1: {0: 4.0, 1: 5.0}}
+        out = spgemm_dict(a, b, PLUS_TIMES, FP64)
+        assert out == {0: {0: 11.0, 1: 10.0}}
+
+    def test_missing_b_row_skipped(self):
+        a = {0: {5: 1.0}}
+        b = {0: {0: 1.0}}
+        assert spgemm_dict(a, b, PLUS_TIMES, FP64) == {}
+
+
+class TestEwiseDict:
+    def test_union(self):
+        out = ewise_union_dict({0: 1.0}, {0: 2.0, 1: 5.0}, PLUS, FP64)
+        assert out == {0: 3.0, 1: 5.0}
+
+    def test_intersect(self):
+        out = ewise_intersect_dict({0: 1.0, 1: 2.0}, {1: 10.0, 2: 3.0}, MIN, FP64)
+        assert out == {1: 2.0}
+
+    def test_intersect_operand_order_preserved(self):
+        # SECOND must take the right operand even when sides are swapped
+        # internally for the smaller-side iteration.
+        big = {i: float(i) for i in range(10)}
+        small = {3: 99.0}
+        assert ewise_intersect_dict(small, big, SECOND, FP64) == {3: 3.0}
+        assert ewise_intersect_dict(big, small, SECOND, FP64) == {3: 99.0}
+
+    def test_empty_sides(self):
+        assert ewise_union_dict({}, {1: 2.0}, PLUS, FP64) == {1: 2.0}
+        assert ewise_intersect_dict({}, {1: 2.0}, PLUS, FP64) == {}

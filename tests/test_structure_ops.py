@@ -1,0 +1,112 @@
+"""diag / diag_extract / concat / split structural ops."""
+
+import numpy as np
+import pytest
+
+import repro as gb
+from repro.core.structure import concat, diag, diag_extract, split
+
+
+class TestDiag:
+    def test_main_diagonal(self):
+        v = gb.Vector.from_lists([0, 2], [1.0, 3.0], 3)
+        m = diag(v)
+        assert m.shape == (3, 3)
+        assert m.get(0, 0) == 1.0 and m.get(2, 2) == 3.0 and m.nvals == 2
+
+    def test_super_diagonal(self):
+        v = gb.Vector.from_lists([1], [5.0], 2)
+        m = diag(v, 1)
+        assert m.shape == (3, 3) and m.get(1, 2) == 5.0
+
+    def test_sub_diagonal(self):
+        v = gb.Vector.from_lists([0], [7.0], 2)
+        m = diag(v, -2)
+        assert m.shape == (4, 4) and m.get(2, 0) == 7.0
+
+    def test_empty_vector(self):
+        m = diag(gb.Vector.sparse(gb.FP64, 3))
+        assert m.nvals == 0 and m.shape == (3, 3)
+
+    def test_roundtrip_with_extract(self):
+        v = gb.Vector.from_lists([0, 1, 3], [1.0, 2.0, 4.0], 5)
+        for k in (-2, 0, 3):
+            assert diag_extract(diag(v, k), k) == v
+
+
+class TestDiagExtract:
+    def test_main(self):
+        a = gb.Matrix.from_dense(np.arange(9.0).reshape(3, 3))
+        d = diag_extract(a)
+        np.testing.assert_array_equal(d.to_dense(), [0.0, 4.0, 8.0])
+        assert d.nvals == 2  # the 0.0 at (0,0) was implicit in from_dense
+
+    def test_rectangular(self):
+        a = gb.Matrix.from_dense(np.ones((2, 5)))
+        assert diag_extract(a, 0).size == 2
+        assert diag_extract(a, 3).size == 2
+        assert diag_extract(a, -1).size == 1
+
+    def test_values(self):
+        a = gb.Matrix.from_lists([0, 1], [1, 2], [5.0, 6.0], 3, 3)
+        d = diag_extract(a, 1)
+        assert d.to_lists() == ([0, 1], [5.0, 6.0])
+
+
+class TestConcatSplit:
+    def test_concat_2x2(self):
+        a = gb.Matrix.from_dense(np.ones((2, 2)))
+        b = gb.Matrix.from_dense(2 * np.ones((2, 3)))
+        c = gb.Matrix.from_dense(3 * np.ones((1, 2)))
+        d = gb.Matrix.from_dense(4 * np.ones((1, 3)))
+        m = concat([[a, b], [c, d]])
+        assert m.shape == (3, 5)
+        assert m.get(0, 0) == 1.0 and m.get(0, 4) == 2.0
+        assert m.get(2, 0) == 3.0 and m.get(2, 4) == 4.0
+        m.container.validate()
+
+    def test_concat_type_promotion(self):
+        a = gb.Matrix.from_lists([0], [0], [1], 1, 1, gb.INT32)
+        b = gb.Matrix.from_lists([0], [0], [1.5], 1, 1, gb.FP64)
+        m = concat([[a, b]])
+        assert m.type is gb.FP64
+
+    def test_concat_validation(self):
+        a = gb.Matrix.sparse(gb.FP64, 2, 2)
+        bad = gb.Matrix.sparse(gb.FP64, 3, 2)
+        with pytest.raises(gb.DimensionMismatchError):
+            concat([[a, bad]])
+        with pytest.raises(gb.InvalidValueError):
+            concat([])
+        with pytest.raises(gb.InvalidValueError):
+            concat([[a], [a, a]])
+
+    def test_split_roundtrip(self, rng):
+        from .conftest import random_dense_matrix
+
+        A = random_dense_matrix(rng, 6, 7)
+        m = gb.Matrix.from_dense(A)
+        tiles = split(m, [2, 4], [3, 3, 1])
+        assert len(tiles) == 2 and len(tiles[0]) == 3
+        assert concat(tiles) == m
+
+    def test_split_validation(self):
+        m = gb.Matrix.sparse(gb.FP64, 4, 4)
+        with pytest.raises(gb.DimensionMismatchError):
+            split(m, [2, 1], [4])
+        with pytest.raises(gb.InvalidValueError):
+            split(m, [5, -1], [4])
+
+    def test_split_empty_tiles(self):
+        m = gb.Matrix.identity(4)
+        tiles = split(m, [2, 2], [2, 2])
+        assert tiles[0][1].nvals == 0 and tiles[1][0].nvals == 0
+        assert tiles[0][0].nvals == 2 and tiles[1][1].nvals == 2
+
+    def test_concat_block_diagonal_algebra(self):
+        # concat of diagonal blocks behaves like a direct sum under mxm.
+        a = gb.Matrix.from_dense(np.array([[2.0]]))
+        z = gb.Matrix.sparse(gb.FP64, 1, 1)
+        m = concat([[a, z], [z, a]])
+        sq = m @ m
+        assert sq.get(0, 0) == 4.0 and sq.get(1, 1) == 4.0 and sq.nvals == 2

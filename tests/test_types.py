@@ -1,0 +1,123 @@
+"""Type system: lookup, promotion, casting, user types."""
+
+import numpy as np
+import pytest
+
+from repro import types as t
+from repro.types import (
+    ALL_TYPES,
+    BOOL,
+    FP32,
+    FP64,
+    INT8,
+    INT32,
+    INT64,
+    UINT8,
+    UINT64,
+    from_dtype,
+    from_value,
+    lookup,
+    promote,
+    register_type,
+)
+
+
+class TestPredefined:
+    def test_eleven_predefined_domains(self):
+        assert len(ALL_TYPES) == 11
+
+    def test_names_match_spec(self):
+        names = {x.name for x in ALL_TYPES}
+        assert names == {
+            "BOOL", "INT8", "INT16", "INT32", "INT64",
+            "UINT8", "UINT16", "UINT32", "UINT64", "FP32", "FP64",
+        }
+
+    def test_dtype_sizes(self):
+        assert INT8.nbytes == 1
+        assert INT64.nbytes == 8
+        assert FP32.nbytes == 4
+
+    def test_kind_predicates(self):
+        assert BOOL.is_boolean and not BOOL.is_integral and not BOOL.is_floating
+        assert INT32.is_integral and INT32.is_signed
+        assert UINT8.is_integral and not UINT8.is_signed
+        assert FP64.is_floating
+
+
+class TestLookup:
+    def test_lookup_by_name(self):
+        assert lookup("FP64") is FP64
+        assert lookup("UINT64") is UINT64
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            lookup("FP16")
+
+    def test_from_dtype(self):
+        assert from_dtype(np.float64) is FP64
+        assert from_dtype("int32") is INT32
+        assert from_dtype(np.bool_) is BOOL
+
+    def test_from_dtype_unknown_raises(self):
+        with pytest.raises(KeyError):
+            from_dtype(np.complex128)
+
+    def test_from_value(self):
+        assert from_value(True) is BOOL
+        assert from_value(3) is INT64
+        assert from_value(2.5) is FP64
+
+    def test_from_value_numpy_scalars(self):
+        assert from_value(np.int32(3)) is INT64
+        assert from_value(np.float32(1.5)) is FP64
+        assert from_value(np.bool_(False)) is BOOL
+
+    def test_from_value_unknown_raises(self):
+        with pytest.raises(TypeError):
+            from_value("hello")
+
+
+class TestPromotion:
+    def test_identical(self):
+        assert promote(FP64, FP64) is FP64
+
+    def test_int_float(self):
+        assert promote(INT32, FP64) is FP64
+        assert promote(FP32, INT8) is FP32
+
+    def test_bool_is_weakest(self):
+        assert promote(BOOL, INT8) is INT8
+        assert promote(BOOL, FP32) is FP32
+        assert promote(BOOL, BOOL) is BOOL
+
+    def test_widths(self):
+        assert promote(INT8, INT32) is INT32
+        assert promote(UINT8, UINT64) is UINT64
+
+    def test_signed_unsigned(self):
+        # NumPy/C promotion: int8 with uint8 -> int16.
+        assert promote(INT8, UINT8).name == "INT16"
+
+
+class TestCast:
+    def test_cast_truncates_float_to_int(self):
+        assert INT32.cast(3.9) == 3
+
+    def test_cast_bool(self):
+        assert BOOL.cast(7) == True  # noqa: E712
+
+    def test_zeros(self):
+        z = FP32.zeros(4)
+        assert z.dtype == np.float32 and z.shape == (4,)
+
+
+class TestUserTypes:
+    def test_register_and_promote_above(self):
+        mytype = register_type("TEST_T1", np.float64, rank=50)
+        assert lookup("TEST_T1") is mytype
+
+    def test_duplicate_name_rejected(self):
+        register_type("TEST_T2", np.int16)
+        with pytest.raises(ValueError):
+            register_type("TEST_T2", np.int16)

@@ -1,0 +1,138 @@
+"""eWiseUnion semantics and transitive closure/reachability."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+import repro as gb
+from repro.algorithms import reachable_from, transitive_closure
+from repro.core.operators import DIV, MINUS, PLUS
+from repro.core.union_op import ewise_union
+
+
+class TestEwiseUnion:
+    def test_fill_applied_to_lone_entries(self, backend):
+        u = gb.Vector.from_lists([0], [5.0], 3)
+        v = gb.Vector.from_lists([2], [3.0], 3)
+        w = gb.Vector.sparse(gb.FP64, 3)
+        ewise_union(w, u, 0.0, v, 0.0, MINUS)
+        assert w.to_lists() == ([0, 2], [5.0, -3.0])
+
+    def test_differs_from_ewise_add(self, backend):
+        # eWiseAdd passes the lone right entry through un-negated.
+        u = gb.Vector.from_lists([0], [5.0], 3)
+        v = gb.Vector.from_lists([2], [3.0], 3)
+        w_add = gb.Vector.sparse(gb.FP64, 3)
+        gb.ewise_add(w_add, u, v, MINUS)
+        assert w_add.get(2) == 3.0
+        w_un = gb.Vector.sparse(gb.FP64, 3)
+        ewise_union(w_un, u, 0.0, v, 0.0, MINUS)
+        assert w_un.get(2) == -3.0
+
+    def test_both_present_ignores_fills(self, backend):
+        u = gb.Vector.from_lists([1], [6.0], 2)
+        v = gb.Vector.from_lists([1], [2.0], 2)
+        w = gb.Vector.sparse(gb.FP64, 2)
+        ewise_union(w, u, 99.0, v, 99.0, DIV)
+        assert w.get(1) == 3.0
+
+    def test_nonzero_fills(self, backend):
+        u = gb.Vector.from_lists([0], [10.0], 2)
+        v = gb.Vector.sparse(gb.FP64, 2)
+        w = gb.Vector.sparse(gb.FP64, 2)
+        ewise_union(w, u, 0.0, v, 4.0, DIV)
+        assert w.get(0) == 2.5
+        assert 1 not in w  # absent on both sides stays absent
+
+    def test_matrix_union(self, backend):
+        a = gb.Matrix.from_lists([0], [0], [7.0], 2, 2)
+        b = gb.Matrix.from_lists([1], [1], [2.0], 2, 2)
+        c = gb.Matrix.sparse(gb.FP64, 2, 2)
+        ewise_union(c, a, 1.0, b, 1.0, MINUS)
+        assert c.get(0, 0) == 6.0 and c.get(1, 1) == -1.0
+        assert c.nvals == 2
+
+    def test_mask_and_accum(self, backend):
+        u = gb.Vector.from_lists([0, 1], [1.0, 2.0], 3)
+        v = gb.Vector.from_lists([1, 2], [10.0, 20.0], 3)
+        mask = gb.Vector.from_lists([1], [True], 3, gb.BOOL)
+        w = gb.Vector.from_lists([1], [100.0], 3)
+        ewise_union(w, u, 0.0, v, 0.0, PLUS, mask=mask, accum=PLUS)
+        assert w.to_lists() == ([1], [112.0])
+
+    def test_dim_checks(self, backend):
+        with pytest.raises(gb.DimensionMismatchError):
+            ewise_union(
+                gb.Vector.sparse(gb.FP64, 3),
+                gb.Vector.sparse(gb.FP64, 3),
+                0.0,
+                gb.Vector.sparse(gb.FP64, 4),
+                0.0,
+                PLUS,
+            )
+
+    def test_matches_dense_subtraction(self, backend, rng):
+        from .conftest import random_dense_vector
+
+        a = random_dense_vector(rng, 25)
+        b = random_dense_vector(rng, 25)
+        w = gb.Vector.sparse(gb.FP64, 25)
+        ewise_union(
+            w, gb.Vector.from_dense(a), 0.0, gb.Vector.from_dense(b), 0.0, MINUS
+        )
+        expect = a - b
+        for i, val in zip(*w.to_lists()):
+            assert val == pytest.approx(expect[i])
+
+
+class TestTransitiveClosure:
+    def test_chain(self, backend):
+        g = gb.Matrix.from_lists([0, 1, 2], [1, 2, 3], [1.0] * 3, 4, 4)
+        r = transitive_closure(g)
+        assert r.get(0, 3) and r.get(0, 0)
+        assert r.get(3, 0) is None
+
+    def test_strict_excludes_self_unless_cycle(self, backend):
+        g = gb.Matrix.from_lists([0, 1], [1, 0], [1.0, 1.0], 3, 3)
+        r = transitive_closure(g, reflexive=False)
+        assert r.get(0, 0)  # on a cycle: reachable from itself
+        assert r.get(2, 2) is None  # isolated: not
+
+    def test_matches_networkx(self, backend):
+        g = gb.generators.erdos_renyi_gnp(18, 0.12, seed=3, directed=True)
+        r = transitive_closure(g, reflexive=False)
+        G = nx.DiGraph()
+        G.add_nodes_from(range(18))
+        rr, cc, _ = g.to_lists()
+        G.add_edges_from(zip(rr, cc))
+        expected = nx.transitive_closure(G)
+        got = {(i, j) for i, j, _ in zip(*r.to_lists())}
+        assert got == set(expected.edges())
+
+    def test_empty_graph(self, backend):
+        r = transitive_closure(gb.Matrix.sparse(gb.FP64, 0, 0))
+        assert r.shape == (0, 0)
+
+    def test_requires_square(self, backend):
+        with pytest.raises(gb.InvalidValueError):
+            transitive_closure(gb.Matrix.sparse(gb.FP64, 2, 3))
+
+
+class TestReachableFrom:
+    def test_matches_closure_row(self, backend):
+        g = gb.generators.erdos_renyi_gnp(15, 0.15, seed=5, directed=True)
+        r = transitive_closure(g)
+        for s in (0, 7):
+            reach = set(reachable_from(g, s).to_lists()[0])
+            row = {j for j in range(15) if r.get(s, j) is not None}
+            assert reach == row
+
+    def test_matches_bfs(self, backend):
+        g = gb.generators.rmat(scale=6, edge_factor=4, seed=6)
+        reach = set(reachable_from(g, 0).to_lists()[0])
+        bfs = set(gb.algorithms.bfs_levels(g, 0).to_lists()[0])
+        assert reach == bfs
+
+    def test_bounds(self, backend):
+        with pytest.raises(gb.IndexOutOfBoundsError):
+            reachable_from(gb.Matrix.sparse(gb.FP64, 2, 2), 2)
