@@ -16,7 +16,14 @@ import repro as gb
 from repro.bench.harness import time_operation
 from repro.bench.tables import format_table
 
-from conftest import bench_backend, save_table
+from repro.backends.dispatch import get_backend, use_backend
+from repro.gpu.device import get_device, reset_device
+
+from conftest import bench_backend, save_json, save_table
+
+# Kernel launches per scale-12 BFS at the seed commit (assign + masked vxm
+# pipeline, two launches per hop); the fused frontier_step must beat this.
+SEED_BFS_LAUNCHES_SCALE12 = 8
 
 SCALES = [8, 10, 12]
 REFERENCE_MAX_SCALE = 10
@@ -98,6 +105,31 @@ def test_table4_render(benchmark):
                 assert series["cuda_sim"][i] > series["cpu"][i]
         # Shape: GPU MTEPS grows with scale (launch overhead amortises).
         assert series["cuda_sim"][-1] > series["cuda_sim"][0]
+        # Machine-readable record: MTEPS series + simulated launch counts
+        # (the fused frontier_step runs ONE kernel per BFS hop).
+        launches = {}
+        for s in SCALES:
+            reset_device()
+            get_backend("cuda_sim").evict_all()
+            with use_backend("cuda_sim"):
+                gb.algorithms.bfs_levels(_GRAPHS[s], 0)
+                launches[str(s)] = sum(
+                    1
+                    for r in get_device().profiler.records
+                    if r.kind == "kernel"
+                )
+        record = {
+            "table": "table4_bfs_mteps",
+            "scales": SCALES,
+            "mteps": series,
+            "bfs_kernel_launches": launches,
+            "seed_bfs_kernel_launches_scale12": SEED_BFS_LAUNCHES_SCALE12,
+        }
+        save_json("table4", record)
+        assert launches["12"] < SEED_BFS_LAUNCHES_SCALE12, (
+            "fused BFS must launch strictly fewer kernels than the seed "
+            f"pipeline: {launches['12']} vs {SEED_BFS_LAUNCHES_SCALE12}"
+        )
         return table
 
     benchmark.pedantic(build, rounds=1, iterations=1)

@@ -14,6 +14,7 @@ Conventions (see DESIGN.md, per-experiment index):
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -67,6 +68,20 @@ def save_table(name: str, text: str) -> None:
     out.write_text(text + "\n")
     print()
     print(text)
+
+
+def save_json(name: str, payload: dict) -> Path:
+    """Persist a machine-readable benchmark record.
+
+    Written as ``benchmarks/results/BENCH_<name>.json`` so CI (and the
+    driver's acceptance checks) can diff figures without scraping the
+    rendered ASCII tables.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / f"BENCH_{name}.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[bench] wrote {out}")
+    return out
 
 
 @pytest.fixture(autouse=True)

@@ -17,8 +17,9 @@ from typing import Optional
 import numpy as np
 
 from ..core import operations as ops
-from ..core.assign import assign, assign_scalar
+from ..core.assign import assign
 from ..core.descriptor import Descriptor
+from ..core.fused import frontier_step
 from ..core.matrix import Matrix
 from ..core.operators import ROWINDEX
 from ..core.semiring import LOR_LAND, MIN_FIRST
@@ -55,16 +56,10 @@ def bfs_levels(
     depth = 0
     limit = max_depth if max_depth is not None else n
     while frontier.nvals and depth <= limit:
-        assign_scalar(levels, depth, indices=frontier.indices_array())
-        ops.vxm(
-            frontier,
-            frontier,
-            g,
-            LOR_LAND,
-            mask=levels,
-            desc=_UNVISITED_MASK,
-            direction=direction,
-        )
+        # One fused step: record this hop's levels and expand the frontier
+        # through the complemented (unvisited) mask — a single kernel launch
+        # on fusing backends instead of an assign + masked vxm pair.
+        frontier_step(levels, frontier, g, depth, LOR_LAND, _UNVISITED_MASK, direction)
         depth += 1
     return levels
 

@@ -13,6 +13,7 @@ from typing import Tuple
 import numpy as np
 
 from ..core import operations as ops
+from ..core.fused import ewise_apply
 from ..core.matrix import Matrix
 from ..core.operators import ABS, MINUS, MINV, PLUS, TIMES
 from ..core.monoid import PLUS_MONOID
@@ -78,10 +79,9 @@ def pagerank(
         shifted = Vector.full(base, n, FP64)
         ops.ewise_add(shifted, shifted, r_new, PLUS)
         r_new = shifted
-        # L1 convergence check.
+        # L1 convergence check — |r_new − r| in one fused pass.
         diff = Vector.sparse(FP64, n)
-        ops.ewise_add(diff, r_new, r, MINUS)
-        ops.apply(diff, diff, ABS)
+        ewise_apply(diff, r_new, r, MINUS, ABS)
         delta = float(ops.reduce(diff, PLUS_MONOID))
         r = r_new
         if delta < tol:

@@ -128,6 +128,83 @@ class Backend(ABC):
         """Intersection elementwise over matrices."""
 
     # ------------------------------------------------------------------
+    # Fused kernels — composition defaults
+    # ------------------------------------------------------------------
+
+    def ewise_apply_vector(
+        self,
+        u: SparseVector,
+        v: SparseVector,
+        binop: BinaryOp,
+        unop: UnaryOp,
+        union: bool = True,
+    ) -> SparseVector:
+        """``unop(u (∪|∩) v)`` — elementwise combine immediately mapped.
+
+        The default composes the two abstract kernels; fused backends (the
+        simulated GPU) override this with a single kernel so the
+        intermediate never round-trips through memory or costs a second
+        launch.
+        """
+        t = (
+            self.ewise_add_vector(u, v, binop)
+            if union
+            else self.ewise_mult_vector(u, v, binop)
+        )
+        return self.apply_vector(t, unop)
+
+    def ewise_apply_matrix(
+        self,
+        a: CSRMatrix,
+        b: CSRMatrix,
+        binop: BinaryOp,
+        unop: UnaryOp,
+        union: bool = True,
+    ) -> CSRMatrix:
+        """Matrix analogue of :meth:`ewise_apply_vector`."""
+        t = (
+            self.ewise_add_matrix(a, b, binop)
+            if union
+            else self.ewise_mult_matrix(a, b, binop)
+        )
+        return self.apply_matrix(t, unop)
+
+    def frontier_step(
+        self,
+        levels: SparseVector,
+        frontier: SparseVector,
+        a: CSRMatrix,
+        value: Any,
+        semiring: Semiring,
+        desc: Descriptor,
+        direction: str = "auto",
+        csc=None,
+    ):
+        """One fused BFS-style expansion step; returns (new_levels, new_frontier).
+
+        Semantics are exactly ``assign_scalar(levels, value, frontier.indices)``
+        followed by ``frontier<levels, desc> = frontier ⊗ A`` (vxm) — the
+        loop body of level BFS.  The default composes the region merge and
+        the masked product; the simulated GPU overrides it with one fused
+        kernel launch, collapsing the per-iteration launch count.
+
+        ``frontier.indices`` must be canonical (sorted unique), which the
+        write pipeline guarantees for any vector container.
+        """
+        from ..core.accumulate import merge_vector
+        from ..core.assign import merge_region_vector
+
+        idx = frontier.indices
+        vals = np.full(idx.size, levels.type.cast(value), dtype=levels.type.dtype)
+        self.charge_assign(idx.size, levels)
+        new_levels = merge_region_vector(
+            levels, idx.copy(), vals, idx, None, None, DEFAULT
+        )
+        t = self.vxm(frontier, a, semiring, new_levels, desc, direction, csc)
+        new_frontier = merge_vector(frontier, t, new_levels, None, desc)
+        return new_levels, new_frontier
+
+    # ------------------------------------------------------------------
     # Apply / select / reduce (hot path, abstract)
     # ------------------------------------------------------------------
 

@@ -36,7 +36,7 @@ from .reduce_apply import (
 from .spgemm import mask_keys_for, spgemm_esr, spgemm_masked_esr
 from .spmv import (
     choose_direction,
-    mask_row_candidates,
+    mask_pull_rows,
     row_gather_product,
     scatter_product,
 )
@@ -64,11 +64,22 @@ class CpuBackend(Backend):
         csc: Optional[CSCMatrix] = None,
     ) -> SparseVector:
         out_t = semiring.result_type(a.type, u.type)
-        d = choose_direction(a, u, mask, desc, direction, csc is not None)
+        d = choose_direction(
+            a,
+            u,
+            mask,
+            desc,
+            direction,
+            csc is not None,
+            push_indptr=csc.indptr if csc is not None else None,
+            pull_indptr=a.indptr,
+        )
         if d == "push":
             tcsr = csc.tcsr if csc is not None else a.transpose()
-            return scatter_product(tcsr, u, semiring, out_t, flip=False)
-        rows = mask_row_candidates(mask, desc)
+            return scatter_product(
+                tcsr, u, semiring, out_t, flip=False, mask=mask, desc=desc
+            )
+        rows = mask_pull_rows(mask, desc, a.nrows)
         return row_gather_product(a, u, semiring, out_t, flip=False, rows=rows)
 
     def vxm(
@@ -82,12 +93,23 @@ class CpuBackend(Backend):
         csc: Optional[CSCMatrix] = None,
     ) -> SparseVector:
         out_t = semiring.result_type(u.type, a.type)
-        d = choose_direction(a, u, mask, desc, direction, True)
+        d = choose_direction(
+            a,
+            u,
+            mask,
+            desc,
+            direction,
+            True,
+            push_indptr=a.indptr,
+            pull_indptr=csc.indptr if csc is not None else None,
+        )
         if d == "push":
             # Push never needs the transpose for vxm: u selects rows of A.
-            return scatter_product(a, u, semiring, out_t, flip=True)
+            return scatter_product(
+                a, u, semiring, out_t, flip=True, mask=mask, desc=desc
+            )
         tcsr = csc.tcsr if csc is not None else a.transpose()
-        rows = mask_row_candidates(mask, desc)
+        rows = mask_pull_rows(mask, desc, a.ncols)
         return row_gather_product(tcsr, u, semiring, out_t, flip=True, rows=rows)
 
     def mxm(

@@ -33,12 +33,36 @@ _UFUNCS: Dict[str, np.ufunc] = {
 }
 
 
-def ufunc_for(op: BinaryOp) -> Optional[np.ufunc]:
-    """The reduceat-capable ufunc for a binary op, if one exists."""
+def ufunc_for(
+    op: BinaryOp,
+    monoid: Optional[Monoid] = None,
+    dtype: Optional[np.dtype] = None,
+) -> Optional[np.ufunc]:
+    """The reduceat-capable ufunc for a binary op, if one exists.
+
+    With ``monoid``/``dtype`` given, an op resolved only through its raw
+    ``func`` (not the curated table) is additionally required to carry a
+    reduction identity matching the monoid's — ``np.subtract`` is a ufunc
+    but has no fold identity, and a monoid claiming one for it would make
+    ``reduceat`` and identity-seeded reductions disagree.  Curated entries
+    are exempt: their identities are known-consistent (NumPy leaves
+    ``minimum.identity`` as None even though MIN is a lawful monoid).
+    """
     uf = _UFUNCS.get(op.name)
     if uf is not None:
         return uf
-    return op.func if isinstance(op.func, np.ufunc) else None
+    if not isinstance(op.func, np.ufunc):
+        return None
+    uf = op.func
+    if monoid is not None:
+        if uf.identity is None:
+            return None
+        from ...types import from_dtype
+
+        want = monoid.identity(from_dtype(np.dtype(dtype)))
+        if not np.asarray(uf.identity == want).all():
+            return None
+    return uf
 
 
 def run_starts(keys: np.ndarray) -> np.ndarray:
@@ -68,18 +92,35 @@ def segment_reduce(
     if name == "SECOND":
         ends = np.append(starts[1:], values.size) - 1
         return values[ends].astype(out_dtype, copy=False)
-    uf = ufunc_for(monoid.op)
+    uf = ufunc_for(monoid.op, monoid, values.dtype)
     if uf is not None:
         # reduceat needs the values in the ufunc's natural domain; logical
         # ufuncs return bool which out_dtype then fixes up.
         return uf.reduceat(values, starts).astype(out_dtype, copy=False)
-    # Generic fallback: Python fold per segment.
+    # Generic fallback: logarithmic pairwise fold over segment strata.
+    # Each round combines adjacent element pairs within every segment in one
+    # vectorized op call, halving the longest segment — O(log max_len)
+    # Python-level steps instead of one per element.  Associativity (which
+    # Monoid requires) makes the tree fold equal to the sequential fold.
     bounds = np.append(starts, values.size)
+    seg = np.repeat(np.arange(starts.size, dtype=np.int64), np.diff(bounds))
+    vals = values
+    while vals.size > starts.size:
+        starts_cur = run_starts(seg)
+        lens_cur = np.append(starts_cur[1:], seg.size) - starts_cur
+        pos = np.arange(seg.size, dtype=np.int64) - np.repeat(starts_cur, lens_cur)
+        left = pos % 2 == 0
+        # A left element is paired iff its successor sits at an odd local
+        # position (same segment); the final element never has a partner.
+        paired = left.copy()
+        paired[-1] = False
+        paired[:-1] &= ~left[1:]
+        lefts = np.flatnonzero(paired)
+        combined = np.asarray(monoid.op(vals[lefts], vals[lefts + 1]))
+        # Pairs collapse onto their left slot; lone odd tails pass through.
+        vals = vals[left]
+        np.place(vals, paired[left], combined.astype(vals.dtype, copy=False))
+        seg = seg[left]
     out = np.empty(starts.size, dtype=out_dtype)
-    for s in range(starts.size):
-        lo, hi = bounds[s], bounds[s + 1]
-        acc = values[lo]
-        for k in range(lo + 1, hi):
-            acc = monoid(acc, values[k])
-        out[s] = acc
+    out[:] = vals
     return out

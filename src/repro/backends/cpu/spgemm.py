@@ -1,11 +1,29 @@
-"""Vectorized SpGEMM (mxm) — expand, sort, reduce.
+"""Vectorized SpGEMM (mxm) — expand, reduce (sort-free when possible).
 
 The row-merge (Gustavson) formulation: ``C[i,:] = ⊕_k A[i,k] ⊗ B[k,:]``.
 Instead of per-row hash maps (the GPU strategy, see
-:mod:`repro.backends.cuda_sim`), the CPU kernel materialises every partial
-product — one per FLOP — then sorts by (row, col) flat key and segment-
-reduces.  Memory is O(flops); for the benchmark scales this is the fastest
-pure-NumPy strategy because every step is a single C-level pass.
+:mod:`repro.backends.cuda_sim`), the CPU kernel materialises the partial-
+product *coordinates* — one per FLOP — then groups by (row, col) flat key.
+
+Two refinements over the classic expand–sort–reduce:
+
+- **Mask fusion**: the masked kernel tests every expanded coordinate
+  against the mask *before* computing any product value.  Membership and
+  slot lookup are one fused gather through a dense int32 *slot map* over
+  the output keyspace (``slot + 1`` at allowed keys, zero elsewhere) when
+  that fits, falling back to ``searchsorted`` against the sorted allowed
+  keys.  Surviving entries are reduced into a dense accumulator indexed by
+  the mask-slot number — the CPU mirror of bounding hash-table writes by
+  the mask in a GPU kernel — so nothing outside the mask is ever
+  multiplied, sorted, or written.  The slot map and the expansion arrays
+  live in reusable :func:`~.fastpath.scratch` workspaces, so steady-state
+  calls allocate nothing proportional to the FLOP count.
+- **Sort-free reduce**: grouped reduction lowers onto the
+  :mod:`.fastpath` dense-accumulator strategies for standard monoids; the
+  stable sort + ``segment_reduce`` remains the generic fallback and is
+  bit-identical.  ``PLUS`` over the value-blind ``PAIR`` multiply (triangle
+  counting's semiring) degenerates to pure key *counting* — no value is
+  gathered or multiplied at all.
 """
 
 from __future__ import annotations
@@ -19,10 +37,45 @@ from ...containers.sparsevec import SparseVector
 from ...core.descriptor import DEFAULT, Descriptor
 from ...core.semiring import Semiring
 from ...types import GrBType
+from .fastpath import (
+    dense_keyspace_ok,
+    fast_reduce_by_key,
+    mask_slot_map,
+    scratch,
+)
 from .segments import run_starts, segment_reduce
 from .spmv import take_ranges
 
-__all__ = ["spgemm_esr", "spgemm_masked_esr", "expand_products", "mask_keys_for"]
+__all__ = [
+    "spgemm_esr",
+    "spgemm_masked_esr",
+    "expand_products",
+    "expand_structure",
+    "mask_keys_for",
+]
+
+# The mask slot map is four bytes per output cell; cap its footprint
+# (128 MB) and require the expansion to be large enough to amortise the
+# one-time zeroing (steady-state reuse costs only O(nnz(mask)) per call).
+_SLOT_MAP_CAP = 1 << 25
+
+
+def expand_structure(a: CSRMatrix, b: CSRMatrix):
+    """Coordinates of all partial products of ``A ⊗ B`` — values untouched.
+
+    Returns ``(rows, cols, b_take, a_take)``: entry ``p`` of the expansion
+    multiplies ``a.values[a_take[p]]`` with ``b.values[b_take[p]]`` into
+    output cell ``(rows[p], cols[p])``.  Ordered by A's storage order
+    (row-major, so ``rows`` is nondecreasing).  Deferring the value gathers
+    lets masked SpGEMM drop coordinates before any multiply happens.
+    """
+    a_rows = np.repeat(np.arange(a.nrows, dtype=np.int64), a.row_degrees())
+    # For every A entry (i, k, av): expand B's row k.
+    b_take, lens = take_ranges(b.indptr, a.indices)
+    rows = np.repeat(a_rows, lens)
+    cols = b.indices[b_take]
+    a_take = np.repeat(np.arange(a.nvals, dtype=np.int64), lens)
+    return rows, cols, b_take, a_take
 
 
 def expand_products(a: CSRMatrix, b: CSRMatrix, semiring: Semiring):
@@ -31,12 +84,8 @@ def expand_products(a: CSRMatrix, b: CSRMatrix, semiring: Semiring):
     Returns ``(rows, cols, prods)`` — one entry per FLOP, ordered by A's
     storage order (row-major, so ``rows`` is nondecreasing).
     """
-    a_rows = np.repeat(np.arange(a.nrows, dtype=np.int64), a.row_degrees())
-    # For every A entry (i, k, av): expand B's row k.
-    take, lens = take_ranges(b.indptr, a.indices)
-    rows = np.repeat(a_rows, lens)
-    cols = b.indices[take]
-    prods = np.asarray(semiring.mult(np.repeat(a.values, lens), b.values[take]))
+    rows, cols, b_take, a_take = expand_structure(a, b)
+    prods = np.asarray(semiring.mult(a.values[a_take], b.values[b_take]))
     return rows, cols, prods
 
 
@@ -54,6 +103,101 @@ def mask_keys_for(mask: CSRMatrix, desc: Descriptor) -> np.ndarray:
     return keys[mask.values.astype(bool)]
 
 
+def _csr_from_flat(nrows, ncols, out_keys, out_vals, out_type) -> CSRMatrix:
+    """Assemble canonical CSR from sorted unique flat keys + reduced values."""
+    out_rows = out_keys // ncols
+    out_cols = out_keys - out_rows * ncols
+    indptr = np.zeros(nrows + 1, dtype=np.int64)
+    if out_rows.size:
+        np.add.at(indptr, out_rows + 1, 1)
+    np.cumsum(indptr, out=indptr)
+    return CSRMatrix(
+        nrows,
+        ncols,
+        indptr,
+        out_cols,
+        np.asarray(out_vals).astype(out_type.dtype, copy=False),
+        out_type,
+    )
+
+
+def _sorted_reduce_flat(nrows, ncols, keys, prods, semiring, out_type) -> CSRMatrix:
+    """Generic fallback: stable sort by flat key, then segment-reduce."""
+    order = np.argsort(keys, kind="stable")
+    keys = keys[order]
+    prods = prods[order]
+    starts = run_starts(keys)
+    out_vals = segment_reduce(prods, starts, semiring.add, out_type.dtype)
+    return _csr_from_flat(nrows, ncols, keys[starts], out_vals, out_type)
+
+
+def _expand_keys_ws(a: CSRMatrix, b: CSRMatrix):
+    """Workspace-backed expansion: ``(keys, a_take, b_take, total)`` or None.
+
+    The flat output key plus the two value-gather maps of every partial
+    product, in A-storage (row-major) order — semantically the same stream
+    :func:`expand_structure` produces, but every O(FLOPs) array is the
+    diff+cumsum formulation of ``np.repeat`` written into a reusable
+    :func:`~.fastpath.scratch` buffer, so steady-state calls fault no fresh
+    pages.  Views are valid until the next call.
+    """
+    lo_all = b.indptr[a.indices]
+    lens_all = b.indptr[a.indices + 1] - lo_all
+    # Segments must be non-empty for the diff trick (duplicate segment
+    # starts would collide); A entries whose B row is empty contribute
+    # nothing anyway.
+    src = np.flatnonzero(lens_all)
+    if src.size == 0:
+        return None
+    lo = lo_all[src]
+    lens = lens_all[src]
+    total = int(lens.sum())
+    bounds = np.cumsum(lens[:-1]) if lens.size > 1 else np.empty(0, np.int64)
+
+    # b_take: lo[s] + within-segment offset — ones, rebased at each start.
+    b_take = scratch("spgemm.b_take", total, np.int64)
+    b_take.fill(1)
+    b_take[0] = lo[0]
+    if bounds.size:
+        b_take[bounds] = lo[1:] - lo[:-1] - (lens[:-1] - 1)
+    np.cumsum(b_take, out=b_take)
+
+    # a_take: repeat(src, lens) — piecewise constant via diffs.
+    a_take = scratch("spgemm.a_take", total, np.int64)
+    a_take.fill(0)
+    a_take[0] = src[0]
+    if bounds.size:
+        a_take[bounds] = src[1:] - src[:-1]
+    np.cumsum(a_take, out=a_take)
+
+    # keys: repeat(row(i) * ncols, lens) + B's column ids.
+    a_rows = np.repeat(np.arange(a.nrows, dtype=np.int64), a.row_degrees())
+    base = a_rows[src] * np.int64(b.ncols)
+    keys = scratch("spgemm.keys", total, np.int64)
+    keys.fill(0)
+    keys[0] = base[0]
+    if bounds.size:
+        keys[bounds] = base[1:] - base[:-1]
+    np.cumsum(keys, out=keys)
+    cols = scratch("spgemm.cols", total, np.int64)
+    np.take(b.indices, b_take, out=cols)
+    np.add(keys, cols, out=keys)
+    return keys, a_take, b_take, total
+
+
+def _pair_count_ok(semiring: Semiring, a: CSRMatrix, out_type: GrBType) -> bool:
+    """May ``PLUS`` over the value-blind ``PAIR`` multiply reduce to pure
+    counting?  Only where an integer count round-trips exactly through the
+    value domain (integers, or float64 with its 2^53 integer range)."""
+    if semiring.add.op.name != "PLUS" or semiring.mult.name != "PAIR":
+        return False
+
+    def exact(dt: np.dtype) -> bool:
+        return dt.kind in "iu" or dt == np.float64
+
+    return exact(np.dtype(a.values.dtype)) and exact(np.dtype(out_type.dtype))
+
+
 def spgemm_masked_esr(
     a: CSRMatrix,
     b: CSRMatrix,
@@ -61,35 +205,71 @@ def spgemm_masked_esr(
     out_type: GrBType,
     allowed_keys: np.ndarray,
 ) -> CSRMatrix:
-    """Masked SpGEMM: drop partial products outside ``allowed_keys`` before
-    the sort — the dominant cost when the mask is sparse (triangle counting's
-    ``C<L> = L ⊗ L``).  ``allowed_keys`` are sorted flat row-major keys.
+    """Masked SpGEMM: drop partial products outside ``allowed_keys`` *before*
+    computing them — the dominant cost when the mask is sparse (triangle
+    counting's ``C<L> = L ⊗ L``).  ``allowed_keys`` are sorted flat row-major
+    keys.
     """
     if a.nvals == 0 or b.nvals == 0 or allowed_keys.size == 0:
         return CSRMatrix.empty(a.nrows, b.ncols, out_type)
-    rows, cols, prods = expand_products(a, b, semiring)
-    if rows.size == 0:
+    expanded = _expand_keys_ws(a, b)
+    if expanded is None:
         return CSRMatrix.empty(a.nrows, b.ncols, out_type)
-    keys = rows * np.int64(b.ncols) + cols
-    pos = np.searchsorted(allowed_keys, keys)
-    pos_c = np.minimum(pos, allowed_keys.size - 1)
-    keep = (allowed_keys[pos_c] == keys) & (pos < allowed_keys.size)
-    keys = keys[keep]
-    prods = prods[keep]
-    if keys.size == 0:
+    keys, a_take, b_take, total = expanded
+    keyspace = int(a.nrows) * int(b.ncols)
+    nslots = allowed_keys.size
+    use_map = (
+        keyspace <= _SLOT_MAP_CAP
+        and keyspace <= 64 * total + (1 << 20)
+        and nslots < np.iinfo(np.int32).max
+    )
+    if use_map:
+        # Fused membership + slot lookup: one gather through the dense slot
+        # map (slot + 1 at allowed keys, 0 elsewhere) answers both "is this
+        # coordinate allowed" and "which accumulator slot" — O(1) per probe.
+        slot_map = mask_slot_map(keyspace)
+        slot_map[allowed_keys] = np.arange(1, nslots + 1, dtype=np.int32)
+        try:
+            probe = scratch("spgemm.probe", total, np.int32)
+            np.take(slot_map, keys, out=probe)
+        finally:
+            slot_map[allowed_keys] = 0  # restore the all-zeros invariant
+        if _pair_count_ok(semiring, a, out_type):
+            # Counting semiring: the reduction is a histogram of slots —
+            # no value gather, no multiply, no accumulator scatter.
+            counts = np.bincount(probe, minlength=nslots + 1)[1:]
+            idx = np.flatnonzero(counts).astype(np.int64)
+            if idx.size == 0:
+                return CSRMatrix.empty(a.nrows, b.ncols, out_type)
+            return _csr_from_flat(
+                a.nrows, b.ncols, allowed_keys[idx], counts[idx], out_type
+            )
+        keep = probe != 0
+        slots = probe[keep].astype(np.int64)
+        slots -= 1
+    else:
+        pos = np.searchsorted(allowed_keys, keys)
+        pos_c = np.minimum(pos, nslots - 1)
+        keep = (allowed_keys[pos_c] == keys) & (pos < nslots)
+        slots = pos[keep]
+    if slots.size == 0:
         return CSRMatrix.empty(a.nrows, b.ncols, out_type)
-    order = np.argsort(keys, kind="stable")
-    keys = keys[order]
-    prods = prods[order]
-    starts = run_starts(keys)
-    out_vals = segment_reduce(prods, starts, semiring.add, out_type.dtype)
-    out_keys = keys[starts]
-    out_rows = out_keys // b.ncols
-    out_cols = out_keys - out_rows * b.ncols
-    indptr = np.zeros(a.nrows + 1, dtype=np.int64)
-    np.add.at(indptr, out_rows + 1, 1)
-    np.cumsum(indptr, out=indptr)
-    return CSRMatrix(a.nrows, b.ncols, indptr, out_cols, out_vals, out_type)
+    # Only surviving coordinates are ever multiplied.
+    prods = np.asarray(
+        semiring.mult(a.values[a_take[keep]], b.values[b_take[keep]])
+    )
+    # Reduce into mask-slot space: each kept key's position in allowed_keys
+    # is its accumulator slot, so the dense accumulator is nnz(M)-sized no
+    # matter how large the output keyspace is.
+    fast = fast_reduce_by_key(slots, prods, nslots, semiring.add)
+    if fast is not None:
+        slot_idx, out_vals = fast
+        return _csr_from_flat(
+            a.nrows, b.ncols, allowed_keys[slot_idx], out_vals, out_type
+        )
+    return _sorted_reduce_flat(
+        a.nrows, b.ncols, keys[keep], prods, semiring, out_type
+    )
 
 
 def spgemm_esr(
@@ -98,22 +278,18 @@ def spgemm_esr(
     semiring: Semiring,
     out_type: GrBType,
 ) -> CSRMatrix:
-    """Expand–sort–reduce SpGEMM producing canonical CSR."""
+    """Expand–reduce SpGEMM producing canonical CSR (sort-free when the
+    output keyspace affords a dense accumulator, sorted otherwise)."""
     if a.nvals == 0 or b.nvals == 0:
         return CSRMatrix.empty(a.nrows, b.ncols, out_type)
     rows, cols, prods = expand_products(a, b, semiring)
     if rows.size == 0:
         return CSRMatrix.empty(a.nrows, b.ncols, out_type)
     keys = rows * np.int64(b.ncols) + cols
-    order = np.argsort(keys, kind="stable")
-    keys = keys[order]
-    prods = prods[order]
-    starts = run_starts(keys)
-    out_vals = segment_reduce(prods, starts, semiring.add, out_type.dtype)
-    out_keys = keys[starts]
-    out_rows = out_keys // b.ncols
-    out_cols = out_keys - out_rows * b.ncols
-    indptr = np.zeros(a.nrows + 1, dtype=np.int64)
-    np.add.at(indptr, out_rows + 1, 1)
-    np.cumsum(indptr, out=indptr)
-    return CSRMatrix(a.nrows, b.ncols, indptr, out_cols, out_vals, out_type)
+    keyspace = int(a.nrows) * int(b.ncols)
+    if dense_keyspace_ok(keyspace, keys.size):
+        fast = fast_reduce_by_key(keys, prods, keyspace, semiring.add)
+        if fast is not None:
+            out_keys, out_vals = fast
+            return _csr_from_flat(a.nrows, b.ncols, out_keys, out_vals, out_type)
+    return _sorted_reduce_flat(a.nrows, b.ncols, keys, prods, semiring, out_type)

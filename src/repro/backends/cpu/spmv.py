@@ -26,8 +26,10 @@ from ...containers.csc import CSCMatrix
 from ...containers.csr import CSRMatrix
 from ...containers.sparsevec import SparseVector
 from ...core.descriptor import DEFAULT, Descriptor
+from ...core.mask import vector_mask_at
 from ...core.semiring import Semiring
 from ...types import GrBType
+from .fastpath import dense_keyspace_ok, fast_reduce_by_key
 from .segments import run_starts, segment_reduce
 
 __all__ = [
@@ -35,6 +37,7 @@ __all__ = [
     "scatter_product",
     "choose_direction",
     "mask_row_candidates",
+    "mask_pull_rows",
     "take_ranges",
 ]
 
@@ -65,6 +68,33 @@ def mask_row_candidates(
     if desc.structural_mask:
         return mask.indices
     return mask.indices[mask.values.astype(bool)]
+
+
+def mask_pull_rows(
+    mask: Optional[SparseVector], desc: Descriptor, nrows: int
+) -> Optional[np.ndarray]:
+    """Rows worth computing in a pull kernel under the effective mask.
+
+    Extends :func:`mask_row_candidates` to complemented masks: there, the
+    allowed rows are everything *except* the mask's fired positions (BFS's
+    visited set).  Complement pruning only pays once the excluded set is a
+    meaningful fraction of the graph, so small complements return None
+    (compute all rows) rather than an almost-complete row list.
+    """
+    if mask is None:
+        return None
+    if not desc.complement_mask:
+        return mask_row_candidates(mask, desc)
+    truthy = (
+        mask.indices
+        if desc.structural_mask
+        else mask.indices[mask.values.astype(bool)]
+    )
+    if truthy.size * 4 < nrows:
+        return None
+    allowed = np.ones(nrows, dtype=bool)
+    allowed[truthy] = False
+    return np.flatnonzero(allowed).astype(np.int64)
 
 
 def _products(a_vals: np.ndarray, u_vals: np.ndarray, semiring: Semiring, flip: bool):
@@ -125,8 +155,22 @@ def scatter_product(
     semiring: Semiring,
     out_type: GrBType,
     flip: bool = False,
+    mask: Optional[SparseVector] = None,
+    desc: Descriptor = DEFAULT,
 ) -> SparseVector:
-    """Push kernel: ``t[j] = ⊕_{k present in u} mult'(csr[k,j], u[k])``."""
+    """Push kernel: ``t[j] = ⊕_{k present in u} mult'(csr[k,j], u[k])``.
+
+    When ``mask``/``desc`` are given, expanded entries whose output position
+    the effective mask forbids are dropped *before* the multiply and the
+    reduction (mask fusion).  This commutes with the write pipeline: a T
+    entry at a mask-false position never survives the merge, with or without
+    accumulate/replace, so pre-filtering is always semantics-preserving —
+    and for BFS it means products into the visited set are never formed.
+
+    The reduction is sort-free for standard additive monoids (see
+    :mod:`.fastpath`); unknown monoids keep the stable-sort + segment-reduce
+    path, which is bit-identical.
+    """
     n_out = csr.ncols
     if csr.nvals == 0 or u.nvals == 0:
         return SparseVector.empty(n_out, out_type)
@@ -134,9 +178,24 @@ def scatter_product(
     if take.size == 0:
         return SparseVector.empty(n_out, out_type)
     cols = csr.indices[take]
-    prods = np.asarray(
-        _products(csr.values[take], np.repeat(u.values, lens), semiring, flip)
-    )
+    a_vals = csr.values[take]
+    u_vals = np.repeat(u.values, lens)
+    if mask is not None:
+        keep = vector_mask_at(mask, desc, cols)
+        if not keep.all():
+            cols = cols[keep]
+            a_vals = a_vals[keep]
+            u_vals = u_vals[keep]
+        if cols.size == 0:
+            return SparseVector.empty(n_out, out_type)
+    prods = np.asarray(_products(a_vals, u_vals, semiring, flip))
+    if dense_keyspace_ok(n_out, cols.size):
+        fast = fast_reduce_by_key(cols, prods, n_out, semiring.add)
+        if fast is not None:
+            keys, vals = fast
+            return SparseVector(
+                n_out, keys, vals.astype(out_type.dtype, copy=False), out_type
+            )
     order = np.argsort(cols, kind="stable")
     keys = cols[order]
     prods = prods[order]
@@ -152,13 +211,23 @@ def choose_direction(
     desc: Descriptor,
     direction: str,
     csc_available: bool,
+    push_indptr: Optional[np.ndarray] = None,
+    pull_indptr: Optional[np.ndarray] = None,
 ) -> str:
     """Resolve "auto" into "push" or "pull".
 
     Push wins when the frontier is small: its cost is the frontier's total
-    degree, versus pull's cost of nnz(A) (or the masked-row subset).  The
-    factor-of-4 margin accounts for push's extra sort.  Auto never picks
-    push when it would require materialising a transpose first.
+    degree, versus pull's cost of nnz(A) (or the masked-row subset).  Auto
+    never picks push when it would require materialising a transpose first.
+
+    ``push_indptr`` is the row-pointer array of the matrix the push kernel
+    would expand (Aᵀ for mxv, A for vxm).  When provided, the push cost is
+    the *exact* frontier degree sum ``Σ (indptr[u_k+1] − indptr[u_k])`` — an
+    O(frontier) probe.  R-MAT frontiers are heavy-tailed, so the old
+    ``u.nvals · avg_deg`` estimate was routinely off by an order of
+    magnitude in either direction.  ``pull_indptr`` likewise sharpens the
+    masked pull cost to the exact degree sum of the mask-allowed rows.
+    Without the hints the avg-degree estimate is kept.
     """
     if direction in ("push", "pull"):
         return direction
@@ -166,7 +235,20 @@ def choose_direction(
         return "pull"
     n = max(a.nrows, 1)
     avg_deg = a.nvals / n
-    push_cost = u.nvals * max(avg_deg, 1.0) * 4.0
-    rows = mask_row_candidates(mask, desc)
-    pull_cost = float(a.nvals) if rows is None else rows.size * max(avg_deg, 1.0)
+    if push_indptr is not None and u.nvals:
+        deg = push_indptr[u.indices + 1] - push_indptr[u.indices]
+        # Sort-free push no longer pays the old 4× sort penalty; keep a 2×
+        # margin for its scattered (atomic-like) writes.
+        push_cost = float(deg.sum()) * 2.0
+    else:
+        push_cost = u.nvals * max(avg_deg, 1.0) * 4.0
+    # The mask covers the output vector, whose length is the pull-side row
+    # count (a.nrows for mxv, a.ncols for vxm) — so size the complement off it.
+    rows = mask_pull_rows(mask, desc, mask.size) if mask is not None else None
+    if rows is None:
+        pull_cost = float(a.nvals)
+    elif pull_indptr is not None:
+        pull_cost = float((pull_indptr[rows + 1] - pull_indptr[rows]).sum())
+    else:
+        pull_cost = rows.size * max(avg_deg, 1.0)
     return "push" if push_cost < pull_cost else "pull"

@@ -35,12 +35,14 @@ from ...core.semiring import Semiring
 from ...gpu.device import get_device
 from ...gpu.kernel import LaunchConfig, charge_transfer, launch
 from ..base import Backend
-from ..cpu.spmv import choose_direction, mask_row_candidates
+from ..cpu.spmv import choose_direction, mask_pull_rows
 from .kernels import (
     APPLY_M,
     APPLY_V,
     EWISE_ADD_M,
     EWISE_ADD_V,
+    EWISE_APPLY_FUSED_M,
+    EWISE_APPLY_FUSED_V,
     EWISE_MULT_M,
     EWISE_MULT_V,
     GATHER,
@@ -52,6 +54,8 @@ from .kernels import (
     SPGEMM_HASH_MASKED,
     SPMSV_PUSH,
     SPMV_CSR_VECTOR,
+    SPMV_PULL_FUSED,
+    SPMV_PUSH_FUSED,
     TRANSPOSE_COUNTSORT,
 )
 
@@ -124,15 +128,24 @@ class CudaSimBackend(Backend):
         self._ensure_resident(a)
         self._ensure_resident(u)
         out_t = semiring.result_type(a.type, u.type)
-        d = choose_direction(a, u, mask, desc, direction, csc is not None)
+        d = choose_direction(
+            a,
+            u,
+            mask,
+            desc,
+            direction,
+            csc is not None,
+            push_indptr=csc.indptr if csc is not None else None,
+            pull_indptr=a.indptr,
+        )
         if d == "push":
             tcsr = csc.tcsr if csc is not None else launch(
                 TRANSPOSE_COUNTSORT, LaunchConfig.cover(a.nvals), a
             )
             cfg = LaunchConfig.cover(max(u.nvals, 1) * 32)
-            out = launch(SPMSV_PUSH, cfg, tcsr, u, semiring, out_t, False)
+            out = launch(SPMSV_PUSH, cfg, tcsr, u, semiring, out_t, False, mask, desc)
         else:
-            rows = mask_row_candidates(mask, desc)
+            rows = mask_pull_rows(mask, desc, a.nrows)
             nrows = a.nrows if rows is None else len(rows)
             cfg = LaunchConfig.cover(max(nrows, 1) * 32)
             out = launch(SPMV_CSR_VECTOR, cfg, a, u, semiring, out_t, False, rows)
@@ -152,15 +165,24 @@ class CudaSimBackend(Backend):
         self._ensure_resident(a)
         self._ensure_resident(u)
         out_t = semiring.result_type(u.type, a.type)
-        d = choose_direction(a, u, mask, desc, direction, True)
+        d = choose_direction(
+            a,
+            u,
+            mask,
+            desc,
+            direction,
+            True,
+            push_indptr=a.indptr,
+            pull_indptr=csc.indptr if csc is not None else None,
+        )
         if d == "push":
             cfg = LaunchConfig.cover(max(u.nvals, 1) * 32)
-            out = launch(SPMSV_PUSH, cfg, a, u, semiring, out_t, True)
+            out = launch(SPMSV_PUSH, cfg, a, u, semiring, out_t, True, mask, desc)
         else:
             tcsr = csc.tcsr if csc is not None else launch(
                 TRANSPOSE_COUNTSORT, LaunchConfig.cover(a.nvals), a
             )
-            rows = mask_row_candidates(mask, desc)
+            rows = mask_pull_rows(mask, desc, a.ncols)
             nrows = tcsr.nrows if rows is None else len(rows)
             cfg = LaunchConfig.cover(max(nrows, 1) * 32)
             out = launch(SPMV_CSR_VECTOR, cfg, tcsr, u, semiring, out_t, True, rows)
@@ -212,6 +234,75 @@ class CudaSimBackend(Backend):
 
     def ewise_mult_matrix(self, a: CSRMatrix, b: CSRMatrix, op: BinaryOp) -> CSRMatrix:
         return self._ewise(EWISE_MULT_M, a, b, op)
+
+    # ------------------------------------------------------------------
+    # Fused kernels — single launches instead of compositions
+    # ------------------------------------------------------------------
+
+    def ewise_apply_vector(self, u, v, binop, unop, union=True):
+        self._ensure_resident(u)
+        self._ensure_resident(v)
+        out = launch(
+            EWISE_APPLY_FUSED_V,
+            LaunchConfig.cover(u.nvals + v.nvals),
+            u, v, binop, unop, union,
+        )
+        self._mark_resident(out)
+        return out
+
+    def ewise_apply_matrix(self, a, b, binop, unop, union=True):
+        self._ensure_resident(a)
+        self._ensure_resident(b)
+        out = launch(
+            EWISE_APPLY_FUSED_M,
+            LaunchConfig.cover(a.nvals + b.nvals),
+            a, b, binop, unop, union,
+        )
+        self._mark_resident(out)
+        return out
+
+    def frontier_step(
+        self,
+        levels: SparseVector,
+        frontier: SparseVector,
+        a: CSRMatrix,
+        value: Any,
+        semiring: Semiring,
+        desc: Descriptor,
+        direction: str = "auto",
+        csc: Optional[CSCMatrix] = None,
+    ):
+        """Level assign + masked SpMSpV + frontier merge as ONE launch."""
+        self._ensure_resident(a)
+        self._ensure_resident(frontier)
+        self._ensure_resident(levels)
+        d = choose_direction(
+            a,
+            frontier,
+            levels,
+            desc,
+            direction,
+            True,
+            push_indptr=a.indptr,
+            pull_indptr=csc.indptr if csc is not None else None,
+        )
+        if d == "push":
+            cfg = LaunchConfig.cover(max(frontier.nvals, 1) * 32)
+            out = launch(
+                SPMV_PUSH_FUSED, cfg, levels, frontier, a, value, semiring, desc
+            )
+        else:
+            tcsr = csc.tcsr if csc is not None else launch(
+                TRANSPOSE_COUNTSORT, LaunchConfig.cover(a.nvals), a
+            )
+            cfg = LaunchConfig.cover(max(tcsr.nrows, 1) * 32)
+            out = launch(
+                SPMV_PULL_FUSED, cfg, levels, frontier, tcsr, value, semiring, desc
+            )
+        new_levels, new_frontier = out
+        self._mark_resident(new_levels)
+        self._mark_resident(new_frontier)
+        return out
 
     # ------------------------------------------------------------------
     # Apply / reduce / transpose

@@ -33,6 +33,7 @@ from ...gpu.simt import (
     divergence_thread_per_row,
     divergence_warp_per_row,
 )
+from ...core.descriptor import DEFAULT
 from ...types import GrBType, promote
 from ..cpu.ewise import ewise_add_mat, ewise_add_vec, ewise_mult_mat, ewise_mult_vec
 from ..cpu.reduce_apply import apply_mat, apply_vec, reduce_mat_vector
@@ -43,11 +44,15 @@ __all__ = [
     "combine_coalescing",
     "SPMV_CSR_VECTOR",
     "SPMSV_PUSH",
+    "SPMV_PUSH_FUSED",
+    "SPMV_PULL_FUSED",
     "SPGEMM_HASH",
     "EWISE_ADD_V",
     "EWISE_MULT_V",
     "EWISE_ADD_M",
     "EWISE_MULT_M",
+    "EWISE_APPLY_FUSED_V",
+    "EWISE_APPLY_FUSED_M",
     "APPLY_V",
     "APPLY_M",
     "REDUCE_TREE",
@@ -121,26 +126,49 @@ SPMV_CSR_VECTOR = Kernel("spmv_csr_vector", _spmv_run, _spmv_work)
 # ---------------------------------------------------------------------------
 
 
-def _spmsv_run(csr, u, semiring, out_type, flip):
-    return scatter_product(csr, u, semiring, out_type, flip=flip)
+def _mask_keep_fraction(mask, desc) -> float:
+    """Expected fraction of expanded entries the effective mask lets through.
+
+    A density estimate (the kernel would know only the mask bitmap, not the
+    expansion): truthy coverage of the output space, complemented if asked.
+    """
+    if mask is None:
+        return 1.0
+    truthy = mask.nvals if desc.structural_mask else int(np.count_nonzero(mask.values))
+    frac = truthy / max(mask.size, 1)
+    if desc.complement_mask:
+        frac = 1.0 - frac
+    return min(max(frac, 0.02), 1.0)
 
 
-def _spmsv_work(csr: CSRMatrix, u: SparseVector, semiring, out_type, flip) -> KernelWork:
+def _spmsv_run(csr, u, semiring, out_type, flip, mask=None, desc=DEFAULT):
+    return scatter_product(
+        csr, u, semiring, out_type, flip=flip, mask=mask, desc=desc
+    )
+
+
+def _spmsv_work(
+    csr: CSRMatrix, u: SparseVector, semiring, out_type, flip, mask=None, desc=DEFAULT
+) -> KernelWork:
     lens = csr.indptr[u.indices + 1] - csr.indptr[u.indices]
     expanded = float(lens.sum())
     item = csr.type.nbytes
-    reads, coal_r = combine_coalescing(
-        [
-            (2.0 * u.nvals * _IDX, "gather"),  # indptr probes at frontier rows
-            (expanded * (_IDX + item), "segmented"),  # expanded row slices
-        ]
-    )
-    # Scattered combine of duplicates (atomics on the output).
-    writes, coal_w = combine_coalescing([(expanded * (out_type.nbytes + _IDX), "atomic")])
+    read_parts = [
+        (2.0 * u.nvals * _IDX, "gather"),  # indptr probes at frontier rows
+        (expanded * (_IDX + item), "segmented"),  # expanded row slices
+    ]
+    if mask is not None:
+        read_parts.append((expanded * 1.0, "gather"))  # mask bitmap probes
+    reads, coal_r = combine_coalescing(read_parts)
+    # Scattered combine of duplicates (atomics on the output) — with an
+    # in-kernel mask only the surviving entries are ever written, which is
+    # the fusion win: atomic traffic scales with the unvisited set.
+    kept = expanded * _mask_keep_fraction(mask, desc)
+    writes, coal_w = combine_coalescing([(kept * (out_type.nbytes + _IDX), "atomic")])
     total = reads + writes
     coal = (reads * coal_r + writes * coal_w) / total if total else 1.0
     return KernelWork(
-        flops=2.0 * expanded,
+        flops=2.0 * kept,
         bytes_read=reads,
         bytes_written=writes,
         threads=max(int(u.nvals), 1) * 32,
@@ -150,6 +178,148 @@ def _spmsv_work(csr: CSRMatrix, u: SparseVector, semiring, out_type, flip) -> Ke
 
 
 SPMSV_PUSH = Kernel("spmsv_push", _spmsv_run, _spmsv_work)
+
+
+# ---------------------------------------------------------------------------
+# Fused BFS frontier step — level assign + masked SpMSpV + merge, one launch
+# ---------------------------------------------------------------------------
+#
+# The BFS loop body is three device ops (scatter levels, masked product,
+# frontier merge).  A real GPU BFS runs them as one kernel: each frontier
+# thread writes its level, expands its row, and test-and-sets unvisited
+# neighbours.  The fused kernels reproduce that: one launch per hop instead
+# of three, and the intermediate frontier products never travel through
+# global memory as a standalone vector.
+
+
+def _frontier_assign(levels, frontier, value):
+    from ...core.assign import merge_region_vector
+
+    idx = frontier.indices
+    vals = np.full(idx.size, levels.type.cast(value), dtype=levels.type.dtype)
+    return merge_region_vector(levels, idx.copy(), vals, idx, None, None, DEFAULT)
+
+
+def _frontier_push_run(levels, frontier, a, value, semiring, desc):
+    from ...core.accumulate import merge_vector
+
+    new_levels = _frontier_assign(levels, frontier, value)
+    out_t = semiring.result_type(frontier.type, a.type)
+    t = scatter_product(
+        a, frontier, semiring, out_t, flip=True, mask=new_levels, desc=desc
+    )
+    return new_levels, merge_vector(frontier, t, new_levels, None, desc)
+
+
+def _frontier_push_work(levels, frontier, a, value, semiring, desc) -> KernelWork:
+    lens = a.indptr[frontier.indices + 1] - a.indptr[frontier.indices]
+    expanded = float(lens.sum())
+    item = a.type.nbytes
+    kept = expanded * _mask_keep_fraction(levels, desc)
+    reads, coal_r = combine_coalescing(
+        [
+            (2.0 * frontier.nvals * _IDX, "gather"),  # indptr probes
+            (expanded * (_IDX + item), "segmented"),  # row slices
+            (expanded * 1.0, "gather"),  # visited-bitmap probes
+        ]
+    )
+    writes, coal_w = combine_coalescing(
+        [
+            (kept * (frontier.type.nbytes + _IDX), "atomic"),  # frontier updates
+            (frontier.nvals * (levels.type.nbytes + _IDX), "scatter"),  # levels
+        ]
+    )
+    total = reads + writes
+    coal = (reads * coal_r + writes * coal_w) / total if total else 1.0
+    return KernelWork(
+        flops=2.0 * kept + frontier.nvals,
+        bytes_read=reads,
+        bytes_written=writes,
+        threads=max(int(frontier.nvals), 1) * 32,
+        divergence=divergence_thread_per_row(lens),
+        coalescing=coal,
+    )
+
+
+SPMV_PUSH_FUSED = Kernel("spmv_push_fused", _frontier_push_run, _frontier_push_work)
+
+
+def _frontier_pull_run(levels, frontier, tcsr, value, semiring, desc):
+    from ...core.accumulate import merge_vector
+    from ..cpu.spmv import mask_pull_rows
+
+    new_levels = _frontier_assign(levels, frontier, value)
+    out_t = semiring.result_type(frontier.type, tcsr.type)
+    rows = mask_pull_rows(new_levels, desc, tcsr.nrows)
+    t = row_gather_product(tcsr, frontier, semiring, out_t, flip=True, rows=rows)
+    return new_levels, merge_vector(frontier, t, new_levels, None, desc)
+
+
+def _frontier_pull_work(levels, frontier, tcsr, value, semiring, desc) -> KernelWork:
+    # Pull over the unvisited rows only (the kernel skips settled vertices).
+    unvisited = max(tcsr.nrows - levels.nvals - frontier.nvals, 1)
+    lens = tcsr.row_degrees()
+    nnz_frac = unvisited / max(tcsr.nrows, 1)
+    nnz = float(lens.sum()) * nnz_frac
+    item = tcsr.type.nbytes
+    reads, coal = combine_coalescing(
+        [
+            (2.0 * unvisited * _IDX, "sequential"),  # indptr
+            (nnz * (_IDX + item), "segmented"),  # columns + values
+            (nnz * (frontier.type.nbytes + _IDX), "gather"),  # frontier probes
+        ]
+    )
+    writes = float(unvisited) * (frontier.type.nbytes + _IDX) + frontier.nvals * (
+        levels.type.nbytes + _IDX
+    )
+    return KernelWork(
+        flops=2.0 * nnz + frontier.nvals,
+        bytes_read=reads,
+        bytes_written=writes,
+        threads=unvisited * 32,
+        divergence=divergence_warp_per_row(lens),
+        coalescing=coal,
+    )
+
+
+SPMV_PULL_FUSED = Kernel("spmv_pull_fused", _frontier_pull_run, _frontier_pull_work)
+
+
+# ---------------------------------------------------------------------------
+# Fused elementwise + apply — one pass, one launch
+# ---------------------------------------------------------------------------
+
+
+def _ewise_apply_run_v(u, v, binop, unop, union):
+    t = ewise_add_vec(u, v, binop) if union else ewise_mult_vec(u, v, binop)
+    return apply_vec(t, unop)
+
+
+def _ewise_apply_run_m(a, b, binop, unop, union):
+    t = ewise_add_mat(a, b, binop) if union else ewise_mult_mat(a, b, binop)
+    return apply_mat(t, unop)
+
+
+def _ewise_apply_work(x, y, binop, unop, union) -> KernelWork:
+    n = float(x.nvals + y.nvals)
+    n_out = n if union else float(min(x.nvals, y.nvals))
+    item = max(x.type.nbytes, y.type.nbytes)
+    reads, coal = combine_coalescing([(n * (item + _IDX), "sequential")])
+    # One launch and one output pass — the separate ewise+apply pair writes
+    # the intermediate and immediately re-reads it; fusing erases that round
+    # trip (and one launch latency).
+    return KernelWork(
+        flops=n + n_out,
+        bytes_read=reads,
+        bytes_written=n_out * (item + _IDX),
+        threads=max(int(n), 1),
+        divergence=1.0,
+        coalescing=coal,
+    )
+
+
+EWISE_APPLY_FUSED_V = Kernel("ewise_apply_fused_v", _ewise_apply_run_v, _ewise_apply_work)
+EWISE_APPLY_FUSED_M = Kernel("ewise_apply_fused_m", _ewise_apply_run_m, _ewise_apply_work)
 
 
 # ---------------------------------------------------------------------------

@@ -30,7 +30,13 @@ from .matrix import Matrix
 from .operators import BinaryOp
 from .vector import Vector
 
-__all__ = ["assign", "assign_scalar", "assign_row", "assign_col"]
+__all__ = [
+    "assign",
+    "assign_scalar",
+    "assign_row",
+    "assign_col",
+    "merge_region_vector",
+]
 
 
 def _index_array(idx, dim: int, what: str) -> np.ndarray:
@@ -86,6 +92,12 @@ def _merge_region_vector(
     merged_vals = np.concatenate([keep_vals, t_vals])
     order = np.argsort(merged_idx, kind="stable")
     return SparseVector(c.size, merged_idx[order], merged_vals[order], c.type)
+
+
+# Public alias: fused operations (see :mod:`repro.core.fused`) replay the
+# scalar-assign region merge at the container level without re-validating
+# index lists the caller already knows are canonical.
+merge_region_vector = _merge_region_vector
 
 
 def _merge_region_matrix(
