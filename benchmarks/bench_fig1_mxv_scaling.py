@@ -25,7 +25,7 @@ from repro.core import operations as ops
 from repro.core.descriptor import Descriptor, STRUCTURE_MASK
 from repro.core.semiring import LOR_LAND, PLUS_PAIR, PLUS_TIMES
 
-from conftest import bench_backend, save_json, save_table
+from conftest import bench_backend, save_json, save_table, sim_metrics
 
 # Wall-clock of the pre-fastpath (seed) cpu kernels on this container, R-MAT
 # scale 12 / edge factor 8 — the baselines the fast-path layer is measured
@@ -145,6 +145,9 @@ def test_fig1_render(benchmark):
             "figure": "fig1_mxv_scaling",
             "scales": SCALES,
             "seconds": series,
+            "cuda_sim_metrics": {
+                str(s): sim_metrics(_CASES[s]) for s in SCALES
+            },
             "hot_path_scale12_ms": {
                 op: {
                     "now": round(ms, 4),

@@ -15,7 +15,7 @@ import pytest
 import repro as gb
 from repro.bench.harness import time_operation
 from repro.bench.tables import format_series
-from conftest import bench_backend, save_table
+from conftest import bench_backend, save_json, save_table, sim_metrics
 
 SCALES = [6, 8, 10, 12]
 REFERENCE_MAX_SCALE = 10
@@ -68,6 +68,18 @@ def test_fig2_render(benchmark):
             if s <= REFERENCE_MAX_SCALE
         ]
         assert gaps[-1] > gaps[0]
+        # Machine-readable record with the deterministic simulator counters
+        # per scale — CI's regression gate diffs these against the committed
+        # baseline (see check_bench_regressions.py).
+        record = {
+            "figure": "fig2_bfs_scaling",
+            "scales": SCALES,
+            "seconds": series,
+            "cuda_sim_metrics": {
+                str(s): sim_metrics(_CASES[s]) for s in SCALES
+            },
+        }
+        save_json("fig2", record)
         return fig
 
     benchmark.pedantic(build, rounds=1, iterations=1)

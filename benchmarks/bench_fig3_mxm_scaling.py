@@ -16,7 +16,7 @@ from repro.bench.tables import format_series
 from repro.core import operations as ops
 from repro.core.semiring import PLUS_TIMES
 
-from conftest import bench_backend, save_table
+from conftest import bench_backend, save_json, save_table, sim_metrics
 
 SIZES = [256, 512, 1024, 2048]
 DEGREES = [2, 4, 8, 16]  # density sweep at n = 1024
@@ -90,6 +90,20 @@ def test_fig3_render(benchmark):
         i = SIZES.index(REFERENCE_MAX_N)
         assert series["reference"][i] > series["cpu"][i]
         assert series["reference"][i] > series["cuda_sim"][i]
+        # Machine-readable record with deterministic simulator counters for
+        # both sweeps (CI regression gate, see check_bench_regressions.py).
+        record = {
+            "figure": "fig3_mxm_scaling",
+            "sizes": SIZES,
+            "degrees": DEGREES,
+            "seconds": series,
+            "seconds_density": dens,
+            "cuda_sim_metrics": {
+                **{f"n_{n}": sim_metrics(_SIZE_CASES[n]) for n in SIZES},
+                **{f"deg_{d}": sim_metrics(_DENSITY_CASES[d]) for d in DEGREES},
+            },
+        }
+        save_json("fig3", record)
         return fig_a
 
     benchmark.pedantic(build, rounds=1, iterations=1)

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Gate deterministic benchmark counters against committed baselines.
+
+The cuda_sim backend's kernel-launch counts and H2D byte totals come from
+the cost model, not the host clock, so they are bit-stable across machines.
+This script compares the ``cuda_sim_metrics`` blocks of freshly generated
+``BENCH_<fig>.json`` records against the committed baselines and fails when
+any counter grew by more than the tolerance (default 10%) — catching
+regressions like a lost transfer-elision path or a kernel sequence that
+stopped fusing, without any wall-clock noise.
+
+Usage::
+
+    python benchmarks/check_bench_regressions.py \
+        --baseline-dir <dir with committed BENCH_*.json> \
+        --current-dir  benchmarks/results \
+        fig1 fig2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+TRACKED_KEYS = ("kernel_launches", "h2d_bytes")
+
+
+def _flatten(metrics: dict, prefix: str = "") -> dict:
+    """{case: {counter: value}} -> {"case.counter": value}."""
+    flat = {}
+    for case, counters in sorted(metrics.items()):
+        for key in TRACKED_KEYS:
+            if key in counters:
+                flat[f"{prefix}{case}.{key}"] = float(counters[key])
+    return flat
+
+
+def compare(baseline: dict, current: dict, tolerance: float) -> list:
+    """Regression messages for counters that grew beyond tolerance."""
+    problems = []
+    base = _flatten(baseline.get("cuda_sim_metrics", {}))
+    cur = _flatten(current.get("cuda_sim_metrics", {}))
+    for name, old in sorted(base.items()):
+        if name not in cur:
+            problems.append(f"{name}: missing from current run (baseline {old:g})")
+            continue
+        new = cur[name]
+        if old == 0:
+            if new > 0:
+                problems.append(f"{name}: {old:g} -> {new:g} (was zero)")
+            continue
+        growth = (new - old) / old
+        if growth > tolerance:
+            problems.append(
+                f"{name}: {old:g} -> {new:g} (+{growth * 100:.1f}% > "
+                f"{tolerance * 100:.0f}% tolerance)"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("figures", nargs="+", help="figure names, e.g. fig1 fig2")
+    ap.add_argument("--baseline-dir", required=True, type=Path)
+    ap.add_argument("--current-dir", required=True, type=Path)
+    ap.add_argument("--tolerance", type=float, default=0.10)
+    args = ap.parse_args(argv)
+
+    failures = []
+    for fig in args.figures:
+        base_path = args.baseline_dir / f"BENCH_{fig}.json"
+        cur_path = args.current_dir / f"BENCH_{fig}.json"
+        if not base_path.exists():
+            failures.append(f"{fig}: baseline {base_path} not found")
+            continue
+        if not cur_path.exists():
+            failures.append(f"{fig}: current record {cur_path} not found")
+            continue
+        baseline = json.loads(base_path.read_text())
+        current = json.loads(cur_path.read_text())
+        problems = compare(baseline, current, args.tolerance)
+        if problems:
+            failures.extend(f"{fig}: {p}" for p in problems)
+        else:
+            n = len(_flatten(baseline.get("cuda_sim_metrics", {})))
+            print(f"[bench-gate] {fig}: {n} counters within tolerance")
+
+    if failures:
+        print("[bench-gate] REGRESSIONS DETECTED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

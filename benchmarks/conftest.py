@@ -27,9 +27,37 @@ from repro.gpu.device import reset_device
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def fresh_device_state() -> None:
+    """Evict backend residency, *then* reset the device.
+
+    Order matters: eviction frees each buffer into the allocator that
+    issued it.  Resetting first would hand out a fresh allocator while the
+    backend still considers the previous case's containers resident — later
+    cases would silently skip uploads, so the allocator and profiler
+    counters would disagree about transfer traffic between cases.
+    """
+    get_backend("cuda_sim").evict_all()
+    reset_device()
+
+
 def measure(backend: str, fn, repeat: int = 3):
     """One Measurement for ``fn`` under ``backend`` (see bench.harness)."""
     return time_operation(backend, fn, repeat=repeat)
+
+
+def sim_metrics(fn) -> dict:
+    """Deterministic cuda_sim counters for one case.
+
+    Charged kernel launches and H2D traffic come from the cost model, not
+    the host clock, so they are bit-stable across machines — CI diffs them
+    against committed baselines with a hard tolerance (see
+    ``check_bench_regressions.py``).
+    """
+    m = simulated_gpu_time(fn)
+    return {
+        "kernel_launches": m.kernel_launches,
+        "h2d_bytes": round(m.h2d_bytes),
+    }
 
 
 def bench_backend(benchmark, backend: str, fn, rounds: int = 3):
@@ -43,10 +71,10 @@ def bench_backend(benchmark, backend: str, fn, rounds: int = 3):
         m = simulated_gpu_time(fn)
         benchmark.extra_info["simulated_us"] = round(m.microseconds, 3)
         benchmark.extra_info["kernel_launches"] = m.kernel_launches
+        benchmark.extra_info["h2d_bytes"] = round(m.h2d_bytes)
 
         def run():
-            reset_device()
-            get_backend("cuda_sim").evict_all()
+            fresh_device_state()
             with use_backend("cuda_sim"):
                 return fn()
 
@@ -87,6 +115,5 @@ def save_json(name: str, payload: dict) -> Path:
 @pytest.fixture(autouse=True)
 def _quiet_device():
     """Each benchmark starts from a clean simulated device."""
-    reset_device()
-    get_backend("cuda_sim").evict_all()
+    fresh_device_state()
     yield

@@ -16,6 +16,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..backends.dispatch import current_backend
 from ..core import operations as ops
 from ..core.assign import assign
 from ..core.descriptor import Descriptor
@@ -55,11 +56,19 @@ def bfs_levels(
     frontier.set_element(source, True)
     depth = 0
     limit = max_depth if max_depth is not None else n
+    # Capture the per-hop launch sequence once; replay later hops as one
+    # graph launch.  A push↔pull direction flip mid-traversal diverges from
+    # the captured signature and re-captures (charged at full cost).
+    graph = current_backend().kernel_graph("bfs")
     while frontier.nvals and depth <= limit:
-        # One fused step: record this hop's levels and expand the frontier
-        # through the complemented (unvisited) mask — a single kernel launch
-        # on fusing backends instead of an assign + masked vxm pair.
-        frontier_step(levels, frontier, g, depth, LOR_LAND, _UNVISITED_MASK, direction)
+        with graph.iteration():
+            # One fused step: record this hop's levels and expand the
+            # frontier through the complemented (unvisited) mask — a single
+            # kernel launch on fusing backends instead of an assign +
+            # masked vxm pair.
+            frontier_step(
+                levels, frontier, g, depth, LOR_LAND, _UNVISITED_MASK, direction
+            )
         depth += 1
     return levels
 

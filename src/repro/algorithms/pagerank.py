@@ -1,9 +1,11 @@
 """PageRank via repeated vxm over the arithmetic semiring.
 
-The row-stochastic transition matrix is built with GraphBLAS primitives
-(row-sum reduce → reciprocal apply → diagonal mxm), and the power iteration
-handles dangling vertices (zero out-degree) by redistributing their mass
-uniformly — the standard formulation.
+The power iteration uses the scaled-vector formulation: each pass scales the
+rank vector by the reciprocal out-degrees (one ewise_mult) and propagates it
+along the raw adjacency, which equals r·(D⁻¹A) without materialising the
+row-stochastic matrix.  Dangling vertices (zero out-degree) redistribute
+their mass uniformly — the standard formulation.  :func:`row_stochastic`
+still builds the explicit transition matrix for callers that want it.
 """
 
 from __future__ import annotations
@@ -12,7 +14,10 @@ from typing import Tuple
 
 import numpy as np
 
+from ..backends.dispatch import current_backend
 from ..core import operations as ops
+from ..core.assign import assign_scalar
+from ..core.descriptor import Descriptor
 from ..core.fused import ewise_apply
 from ..core.matrix import Matrix
 from ..core.operators import ABS, MINUS, MINV, PLUS, TIMES
@@ -62,27 +67,54 @@ def pagerank(
     n = g.nrows
     if n == 0:
         return Vector.sparse(FP64, 0)
-    m, dangling = row_stochastic(g)
-    r = Vector.full(1.0 / n, n, FP64)
+    gf = g if g.type is FP64 else Matrix(g.container.astype(FP64))
+    # Out-degree (weighted) and its reciprocal, computed device-side.
+    outdeg = Vector.sparse(FP64, n)
+    ops.reduce_to_vector(outdeg, gf, PLUS_MONOID)
+    inv = Vector.sparse(FP64, n)
+    ops.apply(inv, outdeg, MINV)
+    # Dangling indicator built on-device: 1 wherever outdeg has no entry.
+    dangling = Vector.sparse(FP64, n)
+    assign_scalar(
+        dangling,
+        1.0,
+        mask=outdeg,
+        desc=Descriptor(complement_mask=True, structural_mask=True),
+    )
+    # Uniform start vector as a device-side fill — never uploaded.
+    r = Vector.sparse(FP64, n)
+    assign_scalar(r, 1.0 / n)
     teleport = (1.0 - damping) / n
+    # Every iteration dispatches the same kernel sequence; capture it once
+    # and replay it as a single graph launch (see repro.gpu.graph).
+    graph = current_backend().kernel_graph("pagerank")
     for _ in range(max_iter):
-        # Mass parked on dangling vertices, redistributed uniformly.
-        dmass = 0.0
-        if dangling.nvals:
-            captured = Vector.sparse(FP64, n)
-            ops.ewise_mult(captured, r, dangling, TIMES)
-            dmass = float(ops.reduce(captured, PLUS_MONOID))
-        r_new = Vector.sparse(FP64, n)
-        ops.vxm(r_new, r, m, PLUS_TIMES)
-        ops.apply(r_new, r_new, TIMES, bind_first=damping)
-        base = teleport + damping * dmass / n
-        shifted = Vector.full(base, n, FP64)
-        ops.ewise_add(shifted, shifted, r_new, PLUS)
-        r_new = shifted
-        # L1 convergence check — |r_new − r| in one fused pass.
-        diff = Vector.sparse(FP64, n)
-        ewise_apply(diff, r_new, r, MINUS, ABS)
-        delta = float(ops.reduce(diff, PLUS_MONOID))
+        with graph.iteration():
+            # Mass parked on dangling vertices, redistributed uniformly.
+            dmass = 0.0
+            if dangling.nvals:
+                captured = Vector.sparse(FP64, n)
+                ops.ewise_mult(captured, r, dangling, TIMES)
+                dmass = float(ops.reduce(captured, PLUS_MONOID))
+            # Scale by 1/outdeg, then propagate along the raw adjacency:
+            # (r ⊙ d⁻¹)·A ≡ r·(D⁻¹A) without ever materialising the
+            # row-stochastic matrix (no setup mxm, no diagonal upload).
+            q = Vector.sparse(FP64, n)
+            ops.ewise_mult(q, r, inv, TIMES)
+            r_new = Vector.sparse(FP64, n)
+            ops.vxm(r_new, q, gf, PLUS_TIMES)
+            ops.apply(r_new, r_new, TIMES, bind_first=damping)
+            base = teleport + damping * dmass / n
+            # Device-side constant fill (one scatter kernel) instead of a
+            # host-built dense vector that would be re-uploaded every pass.
+            shifted = Vector.sparse(FP64, n)
+            assign_scalar(shifted, base)
+            ops.ewise_add(shifted, shifted, r_new, PLUS)
+            r_new = shifted
+            # L1 convergence check — |r_new − r| in one fused pass.
+            diff = Vector.sparse(FP64, n)
+            ewise_apply(diff, r_new, r, MINUS, ABS)
+            delta = float(ops.reduce(diff, PLUS_MONOID))
         r = r_new
         if delta < tol:
             break

@@ -101,7 +101,7 @@ class Backend(ABC):
                 False,
             ),
         )
-        return self.mxv(a.transpose(), u, flipped, mask, desc, direction)
+        return self.mxv(a.cached_transpose(), u, flipped, mask, desc, direction)
 
     # ------------------------------------------------------------------
     # Elementwise (hot path, abstract)
@@ -278,7 +278,7 @@ class Backend(ABC):
     # ------------------------------------------------------------------
 
     def transpose(self, a: CSRMatrix) -> CSRMatrix:
-        return a.transpose()
+        return a.cached_transpose()
 
     def charge_assign(self, nvals: int, out) -> None:
         """Accounting hook: the frontend's assign scatters ``nvals`` entries.
@@ -287,6 +287,26 @@ class Backend(ABC):
         the simulated GPU charges a scatter kernel so assign shows up on the
         device timeline like it would in a CUDA backend.
         """
+
+    def note_result(self, container) -> None:
+        """Accounting hook: ``container`` was produced by the write pipeline.
+
+        Real backends do nothing.  The simulated GPU marks the container
+        device-resident without charging PCIe traffic — results of device
+        computation do not need a host→device copy before their next use.
+        """
+
+    def kernel_graph(self, name: str):
+        """A capture/replay kernel graph for an iterative algorithm.
+
+        Real backends return a no-op graph (iterations run unchanged); the
+        simulated GPU returns a :class:`~repro.gpu.graph.KernelGraph` that
+        captures the first iteration's launch sequence and replays later
+        iterations under a single launch-overhead charge.
+        """
+        from ..gpu.graph import NullKernelGraph
+
+        return NullKernelGraph(name)
 
     def extract_vector(self, u: SparseVector, idx: np.ndarray) -> SparseVector:
         """``t[k] = u[idx[k]]`` keeping only present source entries."""

@@ -36,6 +36,7 @@ class Measurement:
     result: Any = None
     kernel_launches: int = 0
     transfer_seconds: float = 0.0
+    h2d_bytes: float = 0.0
 
     @property
     def microseconds(self) -> float:
@@ -62,6 +63,7 @@ def simulated_gpu_time(fn: Callable[[], Any], include_transfers: bool = True) ->
         result=result,
         kernel_launches=prof.launch_count,
         transfer_seconds=transfer_us / 1e6,
+        h2d_bytes=prof.h2d_bytes,
     )
 
 

@@ -29,7 +29,9 @@ class CSCMatrix:
 
     @classmethod
     def from_csr(cls, csr: CSRMatrix) -> "CSCMatrix":
-        return cls(csr.transpose())
+        # Version-stamped cache on the container: one counting sort per
+        # matrix version no matter how many handles/views ask for columns.
+        return cls(csr.cached_transpose())
 
     @property
     def tcsr(self) -> CSRMatrix:
@@ -79,7 +81,7 @@ class CSCMatrix:
 
     def to_csr(self) -> CSRMatrix:
         """Materialise back to CSR (transposes the stored transpose)."""
-        return self._tcsr.transpose()
+        return self._tcsr.cached_transpose()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"CSCMatrix({self.nrows}x{self.ncols}, nvals={self.nvals}, {self.type.name})"

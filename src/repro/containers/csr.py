@@ -33,7 +33,12 @@ class CSRMatrix:
     - all column indices lie in ``[0, ncols)``.
     """
 
-    __slots__ = ("nrows", "ncols", "indptr", "indices", "values", "type")
+    __slots__ = ("nrows", "ncols", "indptr", "indices", "values", "type", "_version", "_aux")
+
+    #: Process-wide count of counting-sort transpose *builds* (cache misses
+    #: included, cache hits not).  Tests pin "at most one build per matrix
+    #: version" against this counter.
+    transpose_builds = 0
 
     def __init__(self, nrows, ncols, indptr, indices, values, typ: Optional[GrBType] = None):
         self.nrows = int(nrows)
@@ -45,6 +50,34 @@ class CSRMatrix:
             values = values.astype(typ.dtype, copy=False)
         self.values = np.ascontiguousarray(values)
         self.type = typ if typ is not None else from_dtype(self.values.dtype)
+        self._version = 0
+        self._aux: dict = {}
+
+    # ------------------------------------------------------------------
+    # Version stamp + auxiliary-structure cache
+    # ------------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter; bumped whenever stored data changes."""
+        return self._version
+
+    def bump_version(self) -> int:
+        """Invalidate every cached auxiliary structure after a mutation."""
+        self._version += 1
+        self._aux.clear()
+        return self._version
+
+    def _cached(self, key: str, build):
+        from ..gpu import reuse
+
+        if not reuse.aux_cache_enabled():
+            return build()
+        hit = self._aux.get(key)
+        if hit is None:
+            hit = build()
+            self._aux[key] = hit
+        return hit
 
     # ------------------------------------------------------------------
     # Constructors
@@ -107,8 +140,26 @@ class CSRMatrix:
         return self.indices[lo:hi], self.values[lo:hi]
 
     def row_degrees(self) -> np.ndarray:
-        """Number of stored entries in each row."""
-        return np.diff(self.indptr)
+        """Number of stored entries in each row (cached; treat read-only)."""
+        return self._cached("row_degrees", lambda: np.diff(self.indptr))
+
+    def out_degrees(self) -> np.ndarray:
+        """Alias of :meth:`row_degrees` — out-degrees of an adjacency matrix."""
+        return self.row_degrees()
+
+    def in_degrees(self) -> np.ndarray:
+        """Entries per column (in-degrees); cached, no transpose needed."""
+        return self._cached(
+            "in_degrees",
+            lambda: np.bincount(self.indices, minlength=self.ncols).astype(np.int64),
+        )
+
+    def row_nnz_max(self) -> int:
+        """Largest row degree (kernel-shape heuristics); cached."""
+        return self._cached(
+            "row_nnz_max",
+            lambda: int(self.row_degrees().max()) if self.nrows else 0,
+        )
 
     def get(self, i: int, j: int):
         """The stored value at (i, j), or None if implicit."""
@@ -166,8 +217,18 @@ class CSRMatrix:
     # Transforms
     # ------------------------------------------------------------------
 
+    def cached_transpose(self) -> "CSRMatrix":
+        """Memoised :meth:`transpose`, invalidated by :meth:`bump_version`.
+
+        Pull-mode SpMV, CSC views, and default vxm routing all need the
+        transpose; caching it here means one counting sort per matrix
+        *version* instead of one per call.
+        """
+        return self._cached("tcsr", self.transpose)
+
     def transpose(self) -> "CSRMatrix":
         """CSR of the transpose (a stable counting-sort by column)."""
+        CSRMatrix.transpose_builds += 1
         nnz = self.nvals
         t_indptr = np.zeros(self.ncols + 1, dtype=np.int64)
         if nnz:

@@ -22,7 +22,7 @@ __all__ = ["SparseVector"]
 class SparseVector:
     """Canonical sparse vector: sorted unique ``indices`` + ``values``."""
 
-    __slots__ = ("size", "indices", "values", "type")
+    __slots__ = ("size", "indices", "values", "type", "_version", "_aux")
 
     def __init__(self, size: int, indices, values, typ: Optional[GrBType] = None):
         self.size = int(size)
@@ -32,6 +32,34 @@ class SparseVector:
             values = values.astype(typ.dtype, copy=False)
         self.values = np.ascontiguousarray(values)
         self.type = typ if typ is not None else from_dtype(self.values.dtype)
+        self._version = 0
+        self._aux: dict = {}
+
+    # ------------------------------------------------------------------
+    # Version stamp + auxiliary-structure cache
+    # ------------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter; bumped whenever stored data changes."""
+        return self._version
+
+    def bump_version(self) -> int:
+        """Invalidate every cached auxiliary structure after a mutation."""
+        self._version += 1
+        self._aux.clear()
+        return self._version
+
+    def _cached(self, key: str, build):
+        from ..gpu import reuse
+
+        if not reuse.aux_cache_enabled():
+            return build()
+        hit = self._aux.get(key)
+        if hit is None:
+            hit = build()
+            self._aux[key] = hit
+        return hit
 
     # ------------------------------------------------------------------
     # Constructors
@@ -134,10 +162,14 @@ class SparseVector:
         return out
 
     def present_mask(self) -> np.ndarray:
-        """Dense boolean array: True where an entry is stored."""
-        m = np.zeros(self.size, dtype=bool)
-        m[self.indices] = True
-        return m
+        """Dense boolean presence map (cached; treat read-only)."""
+
+        def build():
+            m = np.zeros(self.size, dtype=bool)
+            m[self.indices] = True
+            return m
+
+        return self._cached("present_mask", build)
 
     def copy(self) -> "SparseVector":
         return SparseVector(self.size, self.indices.copy(), self.values.copy(), self.type)

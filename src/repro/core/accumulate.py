@@ -35,6 +35,39 @@ from .operators import BinaryOp
 __all__ = ["merge_vector", "merge_matrix"]
 
 
+def _note_result(container):
+    """Tell the active backend a merged output exists device-side.
+
+    Backend kernels compute results *on the device*; the frontend merge is
+    part of the same write pipeline, so its output should not be treated as
+    host-only data that must be re-uploaded on next use.  Real backends
+    ignore the hint; the simulated GPU marks the container resident without
+    charging PCIe traffic (transfer elision).
+    """
+    from ..backends.dispatch import current_backend
+    from ..gpu import reuse
+
+    if reuse.elision_enabled():
+        current_backend().note_result(container)
+    return container
+
+
+def _trivial_merge(mask, accum, desc: Descriptor) -> bool:
+    """True when the pipeline reduces to "output := T cast to C's domain".
+
+    With no mask every position is writable (complementing a missing mask
+    is all-true here, see :func:`~repro.core.mask.vector_mask_at`) and with
+    no accumulator old entries never survive, so the merged result *is* T.
+    Returning T itself preserves container identity — and therefore device
+    residency — across the write pipeline, which is what lets iterative
+    algorithms skip per-iteration H2D re-uploads.
+    """
+    from ..gpu import reuse
+
+    del desc  # replace flag is irrelevant once the mask admits everything
+    return mask is None and accum is None and reuse.elision_enabled()
+
+
 def _accumulate(
     c_idx: np.ndarray,
     c_vals: np.ndarray,
@@ -114,8 +147,14 @@ def merge_vector(
     mask: Optional[SparseVector] = None,
     accum: Optional[BinaryOp] = None,
     desc: Descriptor = DEFAULT,
+    share: bool = True,
 ) -> SparseVector:
-    """Apply the write pipeline and return the new output vector."""
+    """Apply the write pipeline and return the new output vector.
+
+    ``share=False`` forbids returning ``t`` itself (used when the caller
+    passes a long-lived container — e.g. a cached transpose — that must not
+    become aliased with a mutable output).
+    """
     check_mask_shape(mask, (c.size,))
     if t.size != c.size:
         # Backends guarantee matching sizes; guard for direct callers.
@@ -123,6 +162,8 @@ def merge_vector(
 
         raise DimensionMismatchError("result size", expected=c.size, actual=t.size)
     out_type = _output_type(c.type, t.type, accum)
+    if share and _trivial_merge(mask, accum, desc):
+        return _note_result(t.astype(out_type))
     idx, vals = _merge_indexed(
         c.indices,
         c.values,
@@ -133,7 +174,7 @@ def merge_vector(
         desc.replace,
         out_type.dtype,
     )
-    return SparseVector(c.size, idx, vals, out_type)
+    return _note_result(SparseVector(c.size, idx, vals, out_type))
 
 
 def merge_matrix(
@@ -142,14 +183,20 @@ def merge_matrix(
     mask: Optional[CSRMatrix] = None,
     accum: Optional[BinaryOp] = None,
     desc: Descriptor = DEFAULT,
+    share: bool = True,
 ) -> CSRMatrix:
-    """Apply the write pipeline and return the new output matrix."""
+    """Apply the write pipeline and return the new output matrix.
+
+    ``share`` as in :func:`merge_vector`.
+    """
     check_mask_shape(mask, c.shape)
     if t.shape != c.shape:
         from ..exceptions import DimensionMismatchError
 
         raise DimensionMismatchError("result shape", expected=c.shape, actual=t.shape)
     out_type = _output_type(c.type, t.type, accum)
+    if share and _trivial_merge(mask, accum, desc):
+        return _note_result(t.astype(out_type))
     c_rows = np.repeat(np.arange(c.nrows, dtype=np.int64), c.row_degrees())
     t_rows = np.repeat(np.arange(t.nrows, dtype=np.int64), t.row_degrees())
     c_keys = flat_keys(c_rows, c.indices, c.ncols)
@@ -170,4 +217,4 @@ def merge_matrix(
     if rows.size:
         np.add.at(indptr, rows + 1, 1)
     np.cumsum(indptr, out=indptr)
-    return CSRMatrix(c.nrows, c.ncols, indptr, cols, vals, out_type)
+    return _note_result(CSRMatrix(c.nrows, c.ncols, indptr, cols, vals, out_type))

@@ -24,6 +24,7 @@ from ..backends.dispatch import current_backend
 from ..containers.csr import CSRMatrix
 from ..containers.sparsevec import SparseVector
 from ..exceptions import DimensionMismatchError, IndexOutOfBoundsError, InvalidValueError
+from .accumulate import _note_result
 from .descriptor import DEFAULT, Descriptor
 from .mask import flat_keys, matrix_mask_at, vector_mask_at
 from .matrix import Matrix
@@ -180,7 +181,7 @@ def assign(
         sc = src.container
         current_backend().charge_assign(sc.nvals, out)
         return out._replace(
-            _merge_region_vector(
+            _note_result(_merge_region_vector(
                 out.container,
                 idx[sc.indices],
                 sc.values,
@@ -188,7 +189,7 @@ def assign(
                 mask.container if mask is not None else None,
                 accum,
                 desc,
-            )
+            ))
         )
     r = _index_array(indices, out.nrows, "row")
     s = _index_array(cols, out.ncols, "column")
@@ -200,7 +201,7 @@ def assign(
     current_backend().charge_assign(sc.nvals, out)
     src_rows = np.repeat(np.arange(sc.nrows, dtype=np.int64), sc.row_degrees())
     return out._replace(
-        _merge_region_matrix(
+        _note_result(_merge_region_matrix(
             out.container,
             r[src_rows],
             s[sc.indices],
@@ -210,7 +211,7 @@ def assign(
             mask.container if mask is not None else None,
             accum,
             desc,
-        )
+        ))
     )
 
 
@@ -232,7 +233,7 @@ def assign_scalar(
         vals = np.full(idx.size, out.type.cast(value), dtype=out.type.dtype)
         current_backend().charge_assign(idx.size, out)
         return out._replace(
-            _merge_region_vector(
+            _note_result(_merge_region_vector(
                 out.container,
                 idx.copy(),
                 vals,
@@ -240,7 +241,7 @@ def assign_scalar(
                 mask.container if mask is not None else None,
                 accum,
                 desc,
-            )
+            ))
         )
     r = _index_array(indices, out.nrows, "row")
     s = _index_array(cols, out.ncols, "column")
@@ -249,7 +250,7 @@ def assign_scalar(
     vals = np.full(rr.size, out.type.cast(value), dtype=out.type.dtype)
     current_backend().charge_assign(rr.size, out)
     return out._replace(
-        _merge_region_matrix(
+        _note_result(_merge_region_matrix(
             out.container,
             rr,
             cc,
@@ -259,7 +260,7 @@ def assign_scalar(
             mask.container if mask is not None else None,
             accum,
             desc,
-        )
+        ))
     )
 
 
@@ -284,7 +285,7 @@ def assign_row(
     uc = u.container
     current_backend().charge_assign(uc.nvals, c)
     return c._replace(
-        _merge_region_matrix(
+        _note_result(_merge_region_matrix(
             c.container,
             np.full(uc.nvals, i, dtype=np.int64),
             s[uc.indices],
@@ -294,7 +295,7 @@ def assign_row(
             mat_mask,
             accum,
             desc,
-        )
+        ))
     )
 
 
@@ -315,7 +316,7 @@ def assign_col(
     uc = u.container
     current_backend().charge_assign(uc.nvals, c)
     return c._replace(
-        _merge_region_matrix(
+        _note_result(_merge_region_matrix(
             c.container,
             r[uc.indices],
             np.full(uc.nvals, j, dtype=np.int64),
@@ -325,7 +326,7 @@ def assign_col(
             mat_mask,
             accum,
             desc,
-        )
+        ))
     )
 
 

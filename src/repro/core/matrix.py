@@ -183,6 +183,10 @@ class Matrix:
         k = lo + int(np.searchsorted(m.indices[lo:hi], j))
         if k < hi and m.indices[k] == j:
             m.values[k] = value
+            # In-place overwrite: the container object survives, so cached
+            # auxiliary structures and device-resident copies must be
+            # invalidated through the mutation counter (dirty bit).
+            m.bump_version()
             self._invalidate()
             return self
         indptr = m.indptr.copy()

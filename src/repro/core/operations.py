@@ -376,12 +376,17 @@ def transpose(
     # desc.transpose_a composes: transpose of the transpose is A.
     if desc.transpose_a:
         ac = a.container
-    elif a._csc is not None:
+    elif a._csc is not None or a.container._aux.get("tcsr") is not None:
         ac = a.csc().tcsr  # already materialised: reuse, no backend work
     else:
         ac = current_backend().transpose(a.container)
     _require(c.shape == ac.shape, "output shape", ac.shape, c.shape)
-    return c._replace(merge_matrix(c.container, ac, _mask_cont(mask), accum, desc))
+    # share=False: ``ac`` may be A's own container or its cached transpose;
+    # the output must not alias either (a later in-place set_element on C
+    # would otherwise corrupt A / A's cache).
+    return c._replace(
+        merge_matrix(c.container, ac, _mask_cont(mask), accum, desc, share=False)
+    )
 
 
 def kronecker(

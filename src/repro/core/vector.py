@@ -141,6 +141,9 @@ class Vector:
         k = int(np.searchsorted(c.indices, i))
         if k < c.nvals and c.indices[k] == i:
             c.values[k] = value
+            # In-place overwrite: bump the mutation counter so cached aux
+            # structures and device-resident copies are invalidated.
+            c.bump_version()
             return self
         if not 0 <= i < c.size:
             from ..exceptions import IndexOutOfBoundsError

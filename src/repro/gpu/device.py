@@ -98,6 +98,9 @@ class Device:
         self.cost_model = CostModel(props)
         self.profiler = Profiler()
         self.clock_us = 0.0
+        # Kernel graph currently capturing/replaying launches (see
+        # repro.gpu.graph); None outside graph iteration scopes.
+        self.active_graph = None
 
     def advance(self, dt_us: float) -> float:
         """Advance the simulated clock; returns the new time."""
@@ -111,6 +114,7 @@ class Device:
         self.allocator.reset()
         self.profiler.reset()
         self.clock_us = 0.0
+        self.active_graph = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -92,6 +92,14 @@ def launch(
             divergence=work.divergence,
             coalescing=work.coalescing,
         )
+    graph = dev.active_graph
+    if graph is not None and stream is None:
+        # Inside a graph iteration: capture records the name and charges
+        # normally; replay defers charging to the graph's commit (one
+        # aggregated launch-overhead for the whole sequence).  Semantics
+        # always execute — the data changes every iteration.
+        if graph.on_launch(kernel, work, dev):
+            return kernel.run(*args, **kwargs)
     dt = dev.cost_model.kernel_time_us(work)
     if stream is not None:
         start = stream.enqueue(dt)

@@ -8,12 +8,20 @@ copy is recorded so transfer time can be charged by the cost model.
 
 Buffers are freed explicitly or by garbage collection (a finalizer returns
 the bytes to the pool), mirroring RAII device vectors in CUSP/GBTL-CUDA.
+
+The allocator additionally keeps **size-class free-lists** (a memory pool in
+the cnmem / RMM style): freed blocks are binned by power-of-two size class
+and satisfy later requests without a fresh ``cudaMalloc``.  Pool hits are
+counted separately from allocations — ``alloc_count`` remains the number of
+real (pool-missing) allocations, which is the quantity a device driver
+would observe.  The pool only changes *accounting*; capacity semantics
+(``in_use``/``free_bytes``) are identical with or without it.
 """
 
 from __future__ import annotations
 
 import weakref
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -21,16 +29,31 @@ from ..exceptions import DeviceOutOfMemoryError, InvalidValueError
 
 __all__ = ["DeviceBuffer", "DeviceAllocator", "MemoryStats"]
 
+#: Freed blocks retained per size class before falling back to a real free.
+_POOL_BLOCKS_PER_CLASS = 64
+
+
+def _size_class(nbytes: int) -> int:
+    """Power-of-two size class covering ``nbytes`` (0 maps to class 0)."""
+    n = int(nbytes)
+    if n <= 0:
+        return 0
+    return 1 << (n - 1).bit_length()
+
 
 class MemoryStats:
-    """Counters for allocations and transfers."""
+    """Counters for allocations, pooling, and transfers."""
 
     __slots__ = (
         "alloc_count",
         "free_count",
         "bytes_allocated_total",
+        "pool_hit_count",
+        "pool_hit_bytes",
         "h2d_count",
         "h2d_bytes",
+        "h2d_elided_count",
+        "h2d_elided_bytes",
         "d2h_count",
         "d2h_bytes",
     )
@@ -42,13 +65,25 @@ class MemoryStats:
         self.alloc_count = 0
         self.free_count = 0
         self.bytes_allocated_total = 0
+        self.pool_hit_count = 0
+        self.pool_hit_bytes = 0
         self.h2d_count = 0
         self.h2d_bytes = 0
+        self.h2d_elided_count = 0
+        self.h2d_elided_bytes = 0
         self.d2h_count = 0
         self.d2h_bytes = 0
 
-    def as_dict(self) -> Dict[str, int]:
-        return {name: getattr(self, name) for name in self.__slots__}
+    @property
+    def pool_hit_rate(self) -> float:
+        """Fraction of allocation requests served from the pool."""
+        total = self.alloc_count + self.pool_hit_count
+        return self.pool_hit_count / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        d = {name: getattr(self, name) for name in self.__slots__}
+        d["pool_hit_rate"] = round(self.pool_hit_rate, 4)
+        return d
 
 
 class DeviceBuffer:
@@ -77,7 +112,7 @@ class DeviceBuffer:
 
 
 class DeviceAllocator:
-    """Capacity-tracked allocator for the simulated device."""
+    """Capacity-tracked, size-class-pooled allocator for the simulated device."""
 
     def __init__(self, capacity_bytes: int):
         if capacity_bytes <= 0:
@@ -85,21 +120,40 @@ class DeviceAllocator:
         self.capacity = int(capacity_bytes)
         self.in_use = 0
         self.stats = MemoryStats()
+        # size class -> count of pooled (freed, reusable) blocks.  Blocks
+        # are accounting fictions (the simulation computes on host arrays),
+        # so the free-list stores counts, not storage.
+        self._pool: Dict[int, int] = {}
 
     @property
     def free_bytes(self) -> int:
         return self.capacity - self.in_use
 
+    @property
+    def pooled_blocks(self) -> int:
+        """Total blocks currently parked in the size-class free-lists."""
+        return sum(self._pool.values())
+
     def _reserve(self, nbytes: int) -> None:
         if nbytes > self.free_bytes:
             raise DeviceOutOfMemoryError(nbytes, self.free_bytes)
         self.in_use += nbytes
-        self.stats.alloc_count += 1
-        self.stats.bytes_allocated_total += nbytes
+        cls = _size_class(nbytes)
+        if self._pool.get(cls, 0) > 0:
+            # Pool hit: no cudaMalloc; the request reuses a freed block.
+            self._pool[cls] -= 1
+            self.stats.pool_hit_count += 1
+            self.stats.pool_hit_bytes += nbytes
+        else:
+            self.stats.alloc_count += 1
+            self.stats.bytes_allocated_total += nbytes
 
     def _release(self, nbytes: int) -> None:
         self.in_use = max(0, self.in_use - nbytes)
         self.stats.free_count += 1
+        cls = _size_class(nbytes)
+        if self._pool.get(cls, 0) < _POOL_BLOCKS_PER_CLASS:
+            self._pool[cls] = self._pool.get(cls, 0) + 1
 
     def alloc(self, shape, dtype) -> DeviceBuffer:
         """``cudaMalloc`` analogue: uninitialised device array."""
@@ -132,6 +186,11 @@ class DeviceAllocator:
         # copying here would double host memory for zero fidelity gain.
         return DeviceBuffer(self, arr.nbytes, arr)
 
+    def record_h2d_elided(self, nbytes: int) -> None:
+        """Count one upload skipped because the target was clean-resident."""
+        self.stats.h2d_elided_count += 1
+        self.stats.h2d_elided_bytes += int(nbytes)
+
     def download(self, buf: DeviceBuffer) -> np.ndarray:
         """``cudaMemcpy`` D2H; records traffic and returns the host array."""
         if not buf.alive:
@@ -141,6 +200,7 @@ class DeviceAllocator:
         return buf.array
 
     def reset(self) -> None:
-        """Drop accounting (buffers already handed out keep working)."""
+        """Drop accounting and the pool (buffers already handed out keep working)."""
         self.in_use = 0
+        self._pool.clear()
         self.stats.reset()

@@ -62,6 +62,20 @@ class Profiler:
     def launch_count(self) -> int:
         return sum(1 for r in self.records if r.kind == "kernel")
 
+    @property
+    def h2d_bytes(self) -> float:
+        """Bytes actually copied host→device (elided uploads excluded)."""
+        return sum(r.bytes for r in self.records if r.kind == "h2d")
+
+    @property
+    def replay_count(self) -> int:
+        """Aggregated graph-replay launches (see repro.gpu.graph)."""
+        return sum(
+            1
+            for r in self.records
+            if r.kind == "kernel" and r.name.startswith("graph_replay[")
+        )
+
     def by_kernel(self) -> Dict[str, Dict[str, float]]:
         """Per-kernel-name aggregate: count, total time, flops, bytes."""
         out: Dict[str, Dict[str, float]] = {}

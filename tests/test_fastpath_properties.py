@@ -364,10 +364,20 @@ class TestDirectionAndFusion:
             kernels = [r for r in dev.profiler.records if r.kind == "kernel"]
         assert levels.to_lists() == ref_levels.to_lists()
         names = {r.name for r in kernels}
-        assert names <= {"spmv_push_fused", "spmv_pull_fused"}
-        # One fused launch per BFS hop — the seed pipeline needed an assign
-        # launch plus a vxm launch (and its masked merge) per hop.
-        assert len(kernels) == hops
+        # Captured hops charge the fused kernel directly; replayed hops are
+        # one aggregated graph launch (see repro.gpu.graph) — either way a
+        # hop is exactly one profiler record.  The first pull-mode hop also
+        # derives the transpose on-device, a one-time aux-structure build.
+        assert names <= {
+            "spmv_push_fused",
+            "spmv_pull_fused",
+            "graph_replay[bfs]",
+            "transpose_countsort",
+        }
+        # One launch per BFS hop (plus at most the one transpose build) —
+        # the seed pipeline needed an assign launch plus a vxm launch (and
+        # its masked merge) per hop.
+        assert hops <= len(kernels) <= hops + 1
         assert len(kernels) < 2 * hops
 
     def test_fused_frontier_step_matches_composition(self):
