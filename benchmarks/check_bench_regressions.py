@@ -73,7 +73,14 @@ def main(argv=None) -> int:
         base_path = args.baseline_dir / f"BENCH_{fig}.json"
         cur_path = args.current_dir / f"BENCH_{fig}.json"
         if not base_path.exists():
-            failures.append(f"{fig}: baseline {base_path} not found")
+            # A figure added in the current change has no committed baseline
+            # yet; the first run that lands one establishes it.  Warn so the
+            # gap is visible, but don't fail the gate on a brand-new figure.
+            print(
+                f"[bench-gate] {fig}: no baseline at {base_path}; "
+                "skipping (will gate once a baseline is committed)",
+                file=sys.stderr,
+            )
             continue
         if not cur_path.exists():
             failures.append(f"{fig}: current record {cur_path} not found")

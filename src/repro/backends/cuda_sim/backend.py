@@ -20,7 +20,6 @@ three.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from typing import Any, Optional
 
 import numpy as np
@@ -33,9 +32,10 @@ from ...core.monoid import Monoid
 from ...core.operators import BinaryOp, UnaryOp
 from ...core.semiring import Semiring
 from ...gpu import reuse
-from ...gpu.device import get_device
+from ...gpu.device import Device, get_device
 from ...gpu.graph import KernelGraph, NullKernelGraph
 from ...gpu.kernel import Kernel, LaunchConfig, charge_transfer, launch
+from ...gpu.residency import RESIDENT_CAP, ResidentSet
 from ..base import Backend
 from ..cpu.spmv import choose_direction, mask_pull_rows
 from .kernels import (
@@ -63,7 +63,7 @@ from .kernels import (
 
 __all__ = ["CudaSimBackend"]
 
-_RESIDENT_CAP = 256
+_RESIDENT_CAP = RESIDENT_CAP
 
 # Same launch charge as TRANSPOSE_COUNTSORT, but the semantic function is
 # the per-version memoised transpose: a host-side a.csc() and a device-side
@@ -76,18 +76,23 @@ _TRANSPOSE_MEMOISED = Kernel(
 
 
 class CudaSimBackend(Backend):
-    """GraphBLAS kernels on the simulated GPU."""
+    """GraphBLAS kernels on the simulated GPU.
+
+    By default the backend charges work to the process-global device (see
+    :func:`repro.gpu.device.get_device`), preserving ``reset_device()``
+    semantics.  Passing ``device`` binds all launches, transfers, and
+    residency accounting to that device — the multi-device backend
+    instantiates one such executor per shard.
+    """
 
     name = "cuda_sim"
 
-    def __init__(self) -> None:
-        # id(container) -> (container, device buffer, version at upload);
-        # strong refs pin ids (no reuse while cached). OrderedDict gives
-        # cheap LRU eviction; evicting frees the simulated device memory.
-        # The version stamp is the container's mutation counter — a stale
-        # stamp means the host copy was mutated in place and the device
-        # copy is dirty, so the next use re-uploads.
-        self._resident: "OrderedDict[int, Any]" = OrderedDict()
+    def __init__(self, device: Optional[Device] = None) -> None:
+        self._device = device
+        self._resident = ResidentSet(self._dev)
+
+    def _dev(self) -> Device:
+        return self._device or get_device()
 
     # ------------------------------------------------------------------
     # Residency management
@@ -95,37 +100,10 @@ class CudaSimBackend(Backend):
 
     def _ensure_resident(self, container) -> None:
         """Charge an H2D upload unless the container is clean on-device."""
-        key = id(container)
-        entry = self._resident.get(key)
-        version = getattr(container, "version", 0)
-        if entry is not None:
-            if entry[2] == version:
-                self._resident.move_to_end(key)
-                if reuse.elision_enabled():
-                    get_device().allocator.record_h2d_elided(container.nbytes)
-                return
-            # Host copy mutated since upload: the device copy is stale.
-            # Free the old block (it lands in the pool) and re-upload.
-            entry[1].free()
-            del self._resident[key]
-        charge_transfer(container.nbytes, "h2d")
-        self._mark_resident(container, record_h2d=True)
+        self._resident.ensure(container)
 
     def _mark_resident(self, container, record_h2d: bool = False) -> None:
-        key = id(container)
-        version = getattr(container, "version", 0)
-        entry = self._resident.get(key)
-        if entry is not None:
-            # Refresh the stamp: device-produced data is clean by definition.
-            self._resident[key] = (container, entry[1], version)
-            self._resident.move_to_end(key)
-            return
-        buf = get_device().allocator.reserve(container.nbytes, record_h2d=record_h2d)
-        self._resident[key] = (container, buf, version)
-        self._resident.move_to_end(key)
-        while len(self._resident) > _RESIDENT_CAP:
-            _, (_, old_buf, _) = self._resident.popitem(last=False)
-            old_buf.free()
+        self._resident.mark(container, record_h2d=record_h2d)
 
     def note_result(self, container) -> None:
         """Frontend produced this container from device-resident inputs.
@@ -138,19 +116,17 @@ class CudaSimBackend(Backend):
     def kernel_graph(self, name: str):
         """A capture/replay graph when enabled, else the no-op variant."""
         if reuse.graphs_enabled():
-            return KernelGraph(name)
+            return KernelGraph(name, device=self._device)
         return NullKernelGraph(name)
 
     def download(self, container) -> Any:
         """Model an explicit D2H copy of a result; returns the container."""
-        charge_transfer(container.nbytes, "d2h")
+        charge_transfer(container.nbytes, "d2h", device=self._dev())
         return container
 
     def evict_all(self) -> None:
         """Forget residency (e.g. between benchmark repetitions)."""
-        for _, buf, _ in self._resident.values():
-            buf.free()
-        self._resident.clear()
+        self._resident.evict_all()
 
     # ------------------------------------------------------------------
     # Device-side transpose with per-version memoisation
@@ -164,9 +140,9 @@ class CudaSimBackend(Backend):
         device-side consumers share one transpose per version.
         """
         if not reuse.aux_cache_enabled():
-            return launch(TRANSPOSE_COUNTSORT, LaunchConfig.cover(a.nvals), a)
+            return launch(TRANSPOSE_COUNTSORT, LaunchConfig.cover(a.nvals), a, device=self._dev())
         hit = a._aux.get("tcsr")
-        if hit is not None and id(hit) in self._resident:
+        if hit is not None and hit in self._resident:
             self._mark_resident(hit)  # LRU touch
             return hit
         # Derive aᵀ on-device — charged as one transpose kernel per matrix
@@ -177,10 +153,10 @@ class CudaSimBackend(Backend):
         # Aux-structure builds are one-time costs, so they are charged
         # outside any capturing graph to keep iteration signatures stable
         # (real CUDA Graphs capture steady-state sequences too).
-        dev = get_device()
+        dev = self._dev()
         saved, dev.active_graph = dev.active_graph, None
         try:
-            hit = launch(_TRANSPOSE_MEMOISED, LaunchConfig.cover(a.nvals), a)
+            hit = launch(_TRANSPOSE_MEMOISED, LaunchConfig.cover(a.nvals), a, device=dev)
         finally:
             dev.active_graph = saved
         self._mark_resident(hit)
@@ -232,12 +208,18 @@ class CudaSimBackend(Backend):
         if d == "push":
             tcsr = self._transposed_operand(a, csc)
             cfg = LaunchConfig.cover(max(u.nvals, 1) * 32)
-            out = launch(SPMSV_PUSH, cfg, tcsr, u, semiring, out_t, False, mask, desc)
+            out = launch(
+                SPMSV_PUSH, cfg, tcsr, u, semiring, out_t, False, mask, desc,
+                device=self._dev(),
+            )
         else:
             rows = mask_pull_rows(mask, desc, a.nrows)
             nrows = a.nrows if rows is None else len(rows)
             cfg = LaunchConfig.cover(max(nrows, 1) * 32)
-            out = launch(SPMV_CSR_VECTOR, cfg, a, u, semiring, out_t, False, rows)
+            out = launch(
+                SPMV_CSR_VECTOR, cfg, a, u, semiring, out_t, False, rows,
+                device=self._dev(),
+            )
         self._mark_resident(out)
         return out
 
@@ -266,13 +248,19 @@ class CudaSimBackend(Backend):
         )
         if d == "push":
             cfg = LaunchConfig.cover(max(u.nvals, 1) * 32)
-            out = launch(SPMSV_PUSH, cfg, a, u, semiring, out_t, True, mask, desc)
+            out = launch(
+                SPMSV_PUSH, cfg, a, u, semiring, out_t, True, mask, desc,
+                device=self._dev(),
+            )
         else:
             tcsr = self._transposed_operand(a, csc)
             rows = mask_pull_rows(mask, desc, a.ncols)
             nrows = tcsr.nrows if rows is None else len(rows)
             cfg = LaunchConfig.cover(max(nrows, 1) * 32)
-            out = launch(SPMV_CSR_VECTOR, cfg, tcsr, u, semiring, out_t, True, rows)
+            out = launch(
+                SPMV_CSR_VECTOR, cfg, tcsr, u, semiring, out_t, True, rows,
+                device=self._dev(),
+            )
         self._mark_resident(out)
         return out
 
@@ -293,9 +281,11 @@ class CudaSimBackend(Backend):
 
             self._ensure_resident(mask)
             keys = mask_keys_for(mask, desc)
-            out = launch(SPGEMM_HASH_MASKED, cfg, a, b, semiring, out_t, keys)
+            out = launch(
+                SPGEMM_HASH_MASKED, cfg, a, b, semiring, out_t, keys, device=self._dev()
+            )
         else:
-            out = launch(SPGEMM_HASH, cfg, a, b, semiring, out_t)
+            out = launch(SPGEMM_HASH, cfg, a, b, semiring, out_t, device=self._dev())
         self._mark_resident(out)
         return out
 
@@ -306,7 +296,9 @@ class CudaSimBackend(Backend):
     def _ewise(self, kernel, x, y, op):
         self._ensure_resident(x)
         self._ensure_resident(y)
-        out = launch(kernel, LaunchConfig.cover(x.nvals + y.nvals), x, y, op)
+        out = launch(
+            kernel, LaunchConfig.cover(x.nvals + y.nvals), x, y, op, device=self._dev()
+        )
         self._mark_resident(out)
         return out
 
@@ -333,6 +325,7 @@ class CudaSimBackend(Backend):
             EWISE_APPLY_FUSED_V,
             LaunchConfig.cover(u.nvals + v.nvals),
             u, v, binop, unop, union,
+            device=self._dev(),
         )
         self._mark_resident(out)
         return out
@@ -344,6 +337,7 @@ class CudaSimBackend(Backend):
             EWISE_APPLY_FUSED_M,
             LaunchConfig.cover(a.nvals + b.nvals),
             a, b, binop, unop, union,
+            device=self._dev(),
         )
         self._mark_resident(out)
         return out
@@ -376,13 +370,15 @@ class CudaSimBackend(Backend):
         if d == "push":
             cfg = LaunchConfig.cover(max(frontier.nvals, 1) * 32)
             out = launch(
-                SPMV_PUSH_FUSED, cfg, levels, frontier, a, value, semiring, desc
+                SPMV_PUSH_FUSED, cfg, levels, frontier, a, value, semiring, desc,
+                device=self._dev(),
             )
         else:
             tcsr = self._transposed_operand(a, csc)
             cfg = LaunchConfig.cover(max(tcsr.nrows, 1) * 32)
             out = launch(
-                SPMV_PULL_FUSED, cfg, levels, frontier, tcsr, value, semiring, desc
+                SPMV_PULL_FUSED, cfg, levels, frontier, tcsr, value, semiring, desc,
+                device=self._dev(),
             )
         new_levels, new_frontier = out
         self._mark_resident(new_levels)
@@ -395,37 +391,48 @@ class CudaSimBackend(Backend):
 
     def apply_vector(self, u: SparseVector, op: UnaryOp) -> SparseVector:
         self._ensure_resident(u)
-        out = launch(APPLY_V, LaunchConfig.cover(u.nvals), u, op)
+        out = launch(APPLY_V, LaunchConfig.cover(u.nvals), u, op, device=self._dev())
         self._mark_resident(out)
         return out
 
     def apply_matrix(self, a: CSRMatrix, op: UnaryOp) -> CSRMatrix:
         self._ensure_resident(a)
-        out = launch(APPLY_M, LaunchConfig.cover(a.nvals), a, op)
+        out = launch(APPLY_M, LaunchConfig.cover(a.nvals), a, op, device=self._dev())
         self._mark_resident(out)
         return out
 
     def reduce_vector_scalar(self, u: SparseVector, monoid: Monoid) -> Any:
         self._ensure_resident(u)
         t = monoid.result_type(u.type)
-        val = launch(REDUCE_TREE, LaunchConfig.cover(u.nvals), u.values, monoid, u.type)
+        val = launch(
+            REDUCE_TREE, LaunchConfig.cover(u.nvals), u.values, monoid, u.type,
+            device=self._dev(),
+        )
         return t.cast(val)
 
     def reduce_matrix_vector(self, a: CSRMatrix, monoid: Monoid) -> SparseVector:
         self._ensure_resident(a)
-        out = launch(REDUCE_ROWS, LaunchConfig.cover(max(a.nrows, 1) * 32), a, monoid)
+        out = launch(
+            REDUCE_ROWS, LaunchConfig.cover(max(a.nrows, 1) * 32), a, monoid,
+            device=self._dev(),
+        )
         self._mark_resident(out)
         return out
 
     def reduce_matrix_scalar(self, a: CSRMatrix, monoid: Monoid) -> Any:
         self._ensure_resident(a)
         t = monoid.result_type(a.type)
-        val = launch(REDUCE_TREE, LaunchConfig.cover(a.nvals), a.values, monoid, a.type)
+        val = launch(
+            REDUCE_TREE, LaunchConfig.cover(a.nvals), a.values, monoid, a.type,
+            device=self._dev(),
+        )
         return t.cast(val)
 
     def transpose(self, a: CSRMatrix) -> CSRMatrix:
         self._ensure_resident(a)
-        out = launch(TRANSPOSE_COUNTSORT, LaunchConfig.cover(a.nvals), a)
+        out = launch(
+            TRANSPOSE_COUNTSORT, LaunchConfig.cover(a.nvals), a, device=self._dev()
+        )
         self._mark_resident(out)
         return out
 
@@ -441,6 +448,7 @@ class CudaSimBackend(Backend):
             thunk_fn,
             float(src.nvals),
             src.type.nbytes,
+            device=self._dev(),
         )
         self._mark_resident(out)
         return out
@@ -473,6 +481,7 @@ class CudaSimBackend(Backend):
             lambda: super(CudaSimBackend, self).extract_vector(u, idx),
             len(idx),
             u.type.nbytes,
+            device=self._dev(),
         )
         self._mark_resident(out)
         return out
@@ -485,9 +494,13 @@ class CudaSimBackend(Backend):
             lambda: super(CudaSimBackend, self).extract_matrix(a, rows, cols),
             float(len(rows)) * max(len(cols), 1),
             a.type.nbytes,
+            device=self._dev(),
         )
         self._mark_resident(out)
         return out
 
     def charge_assign(self, nvals: int, out) -> None:
-        launch(SCATTER_ASSIGN, LaunchConfig.cover(nvals), float(nvals), 8)
+        launch(
+            SCATTER_ASSIGN, LaunchConfig.cover(nvals), float(nvals), 8,
+            device=self._dev(),
+        )

@@ -7,7 +7,7 @@ algorithm written once runs on any backend::
         levels = bfs_levels(graph, source)
 
 Backends register themselves on import via :func:`register_backend`; the
-three built-ins are imported lazily the first time they are requested so that
+built-ins are imported lazily the first time they are requested so that
 importing :mod:`repro` stays cheap.
 """
 
@@ -58,6 +58,10 @@ def _builtin(name: str) -> None:
         from .cuda_sim.backend import CudaSimBackend
 
         register_backend("cuda_sim", CudaSimBackend)
+    elif name == "multi_sim":
+        from .multi_sim.backend import MultiSimBackend
+
+        register_backend("multi_sim", MultiSimBackend)
 
 
 def get_backend(name: str) -> Backend:
@@ -70,7 +74,7 @@ def get_backend(name: str) -> Backend:
                 factory = _FACTORIES[name]
             except KeyError:
                 raise KeyError(
-                    f"unknown backend {name!r}; known: {sorted(set(_FACTORIES) | {'reference', 'cpu', 'cuda_sim'})}"
+                    f"unknown backend {name!r}; known: {sorted(set(_FACTORIES) | {'reference', 'cpu', 'cuda_sim', 'multi_sim'})}"
                 ) from None
             inst = factory()
             _INSTANCES[name] = inst
@@ -79,7 +83,7 @@ def get_backend(name: str) -> Backend:
 
 def available_backends() -> list:
     """Names of all registerable backends (built-ins + user-registered)."""
-    return sorted(set(_FACTORIES) | {"reference", "cpu", "cuda_sim"})
+    return sorted(set(_FACTORIES) | {"reference", "cpu", "cuda_sim", "multi_sim"})
 
 
 def set_default_backend(name: str) -> None:

@@ -1,0 +1,5 @@
+"""Multi-device partitioned simulated backend."""
+
+from .backend import MultiSimBackend
+
+__all__ = ["MultiSimBackend"]

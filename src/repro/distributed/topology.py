@@ -1,0 +1,83 @@
+"""Inter-device link topology.
+
+Each pair of devices is connected by a link of some *class* — NVLink-style
+high-bandwidth low-latency peer links inside an island, PCIe-through-host
+links between islands.  A :class:`Topology` maps a device pair to its
+:class:`LinkSpec` and prices a point-to-point transfer; the collective cost
+formulas live in :mod:`.comm`.
+
+The numbers are knobs in the same spirit as
+:class:`~repro.gpu.device.DeviceProperties`: NVLink 1.0 (P100 era) moves
+~20 GB/s per direction per link (we model a 2-link gang), PCIe gen3 ~10
+GB/s with a ~10 µs software round-trip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["LinkSpec", "Topology", "DGX_NVLINK", "PCIE_ONLY"]
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One link class: fixed latency plus bandwidth-proportional time."""
+
+    name: str
+    latency_us: float
+    bandwidth_gbps: float
+
+    def transfer_time_us(self, nbytes: float) -> float:
+        """Time to move ``nbytes`` over this link once."""
+        if nbytes <= 0:
+            return 0.0
+        # bytes / (GB/s) = ns; 1e-3 converts to µs.
+        return self.latency_us + float(nbytes) * 1e-3 / self.bandwidth_gbps
+
+
+NVLINK = LinkSpec("nvlink", latency_us=2.0, bandwidth_gbps=40.0)
+PCIE_P2P = LinkSpec("pcie", latency_us=10.0, bandwidth_gbps=10.0)
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Pairwise link classes for a P-device cluster.
+
+    Devices are grouped into NVLink islands of ``island`` consecutive
+    ranks; pairs inside an island use the ``fast`` spec, pairs across
+    islands the ``slow`` spec.  ``island <= 1`` means no peer links at all
+    (every pair routes through PCIe).
+    """
+
+    name: str = "dgx"
+    fast: LinkSpec = NVLINK
+    slow: LinkSpec = PCIE_P2P
+    island: int = 8
+
+    def link(self, i: int, j: int) -> LinkSpec:
+        """The link spec connecting devices ``i`` and ``j``."""
+        if i == j:
+            # Self-transfers are local copies; model as the fast class with
+            # no latency (callers normally never price them).
+            return replace(self.fast, latency_us=0.0)
+        if self.island > 1 and (i // self.island) == (j // self.island):
+            return self.fast
+        return self.slow
+
+    def transfer_time_us(self, nbytes: float, i: int, j: int) -> float:
+        return self.link(i, j).transfer_time_us(nbytes)
+
+    def worst_link(self, nparts: int) -> LinkSpec:
+        """The slowest link class present in a ``nparts``-device ring."""
+        if nparts <= 1:
+            return self.fast
+        if self.island > 1 and nparts <= self.island:
+            return self.fast
+        return self.slow
+
+
+#: All devices on one NVLink island (the DGX-style default).
+DGX_NVLINK = Topology("dgx", island=8)
+
+#: No peer links: everything crosses the host PCIe switch.
+PCIE_ONLY = Topology("pcie", island=1)

@@ -162,6 +162,10 @@ class KernelGraph:
                     flops=sum(w.flops for _, _, w in pending),
                     bytes=sum(w.bytes_total for _, _, w in pending),
                     threads=max(w.threads for _, _, w in pending),
+                    members=tuple(
+                        (name, busy, w.flops, w.bytes_total)
+                        for name, busy, w in pending
+                    ),
                 )
             )
             self.stats.replays += 1

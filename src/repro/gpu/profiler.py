@@ -7,23 +7,29 @@ host wall-clock of the simulation itself is meaningless for the GPU series).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
 
 __all__ = ["LaunchRecord", "Profiler"]
 
 
 @dataclass(frozen=True)
 class LaunchRecord:
-    """One simulated event: a kernel launch or a PCIe transfer."""
+    """One simulated event: a kernel launch, a PCIe transfer, or a collective.
+
+    An aggregated ``graph_replay[...]`` record carries its member kernels in
+    ``members`` as ``(name, busy_us, flops, bytes)`` tuples so per-kernel
+    attribution survives replay aggregation (see :meth:`Profiler.by_kernel`).
+    """
 
     name: str
-    kind: str  # "kernel" | "h2d" | "d2h"
+    kind: str  # "kernel" | "h2d" | "d2h" | "comm"
     start_us: float
     duration_us: float
     flops: float = 0.0
     bytes: float = 0.0
     threads: int = 0
+    members: Tuple[Tuple[str, float, float, float], ...] = field(default=())
 
     @property
     def end_us(self) -> float:
@@ -76,25 +82,43 @@ class Profiler:
             if r.kind == "kernel" and r.name.startswith("graph_replay[")
         )
 
-    def by_kernel(self) -> Dict[str, Dict[str, float]]:
-        """Per-kernel-name aggregate: count, total time, flops, bytes."""
+    def by_kernel(self, expand_replays: bool = False) -> Dict[str, Dict[str, float]]:
+        """Per-kernel-name aggregate: count, total time, flops, bytes.
+
+        With ``expand_replays=True``, aggregated ``graph_replay[...]``
+        records are attributed back to their member kernels (one count and
+        its busy time each); the single launch overhead the replay actually
+        paid stays on the ``graph_replay[...]`` row, so column sums still
+        equal :attr:`kernel_time_us`.
+        """
         out: Dict[str, Dict[str, float]] = {}
+
+        def bump(name, count, time_us, flops, nbytes):
+            agg = out.setdefault(
+                name, {"count": 0, "time_us": 0.0, "flops": 0.0, "bytes": 0.0}
+            )
+            agg["count"] += count
+            agg["time_us"] += time_us
+            agg["flops"] += flops
+            agg["bytes"] += nbytes
+
         for r in self.records:
             if r.kind != "kernel":
                 continue
-            agg = out.setdefault(
-                r.name, {"count": 0, "time_us": 0.0, "flops": 0.0, "bytes": 0.0}
-            )
-            agg["count"] += 1
-            agg["time_us"] += r.duration_us
-            agg["flops"] += r.flops
-            agg["bytes"] += r.bytes
+            if expand_replays and r.members:
+                busy_total = 0.0
+                for name, busy, flops, nbytes in r.members:
+                    bump(name, 1, busy, flops, nbytes)
+                    busy_total += busy
+                bump(r.name, 1, r.duration_us - busy_total, 0.0, 0.0)
+            else:
+                bump(r.name, 1, r.duration_us, r.flops, r.bytes)
         return out
 
-    def summary(self) -> str:
+    def summary(self, expand_replays: bool = False) -> str:
         """Human-readable per-kernel table (for examples/EXPERIMENTS)."""
         lines = [f"{'kernel':<28}{'count':>7}{'time_us':>12}{'GB':>9}"]
-        for name, agg in sorted(self.by_kernel().items()):
+        for name, agg in sorted(self.by_kernel(expand_replays).items()):
             lines.append(
                 f"{name:<28}{int(agg['count']):>7}{agg['time_us']:>12.1f}"
                 f"{agg['bytes'] / 1e9:>9.3f}"

@@ -1,0 +1,102 @@
+"""Device-residency tracking for simulated backends.
+
+A backend that models PCIe traffic needs to know which containers are
+already on the device: operands are uploaded on first use, cached, and
+re-uploaded only when the host copy mutated (version stamp mismatch).
+This was born inside the cuda_sim backend; the multi-device backend needs
+one resident set *per device*, so the bookkeeping lives here as a class
+parameterised by the device it accounts against.
+
+The device is supplied as a zero-argument callable rather than an object so
+the single-GPU backend keeps its historical ``reset_device()`` semantics
+(the global device can be swapped out underneath it); per-shard devices in
+a cluster bind a fixed device instead.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Optional
+
+from .device import Device, get_device
+from .kernel import charge_transfer
+
+__all__ = ["ResidentSet", "RESIDENT_CAP"]
+
+#: LRU capacity: containers tracked per device before eviction.
+RESIDENT_CAP = 256
+
+
+class ResidentSet:
+    """LRU set of containers resident in one simulated device's memory.
+
+    Entries map ``id(container)`` to ``(container, device buffer, version at
+    upload)``; strong refs pin ids (no reuse while cached).  The version
+    stamp is the container's mutation counter — a stale stamp means the host
+    copy was mutated in place and the device copy is dirty, so the next use
+    re-uploads.  Evicting frees the simulated device memory.
+    """
+
+    def __init__(
+        self,
+        device_fn: Optional[Callable[[], Device]] = None,
+        cap: int = RESIDENT_CAP,
+    ) -> None:
+        self._device_fn = device_fn or get_device
+        self._cap = cap
+        self._entries: "OrderedDict[int, Any]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, container) -> bool:
+        return id(container) in self._entries
+
+    def is_clean(self, container) -> bool:
+        """True when the device copy exists and matches the host version."""
+        entry = self._entries.get(id(container))
+        return entry is not None and entry[2] == getattr(container, "version", 0)
+
+    def ensure(self, container) -> None:
+        """Charge an H2D upload unless the container is clean on-device."""
+        from . import reuse
+
+        key = id(container)
+        entry = self._entries.get(key)
+        version = getattr(container, "version", 0)
+        dev = self._device_fn()
+        if entry is not None:
+            if entry[2] == version:
+                self._entries.move_to_end(key)
+                if reuse.elision_enabled():
+                    dev.allocator.record_h2d_elided(container.nbytes)
+                return
+            # Host copy mutated since upload: the device copy is stale.
+            # Free the old block (it lands in the pool) and re-upload.
+            entry[1].free()
+            del self._entries[key]
+        charge_transfer(container.nbytes, "h2d", device=dev)
+        self.mark(container, record_h2d=True)
+
+    def mark(self, container, record_h2d: bool = False) -> None:
+        """Record the container as device-resident (clean) without a copy."""
+        key = id(container)
+        version = getattr(container, "version", 0)
+        entry = self._entries.get(key)
+        if entry is not None:
+            # Refresh the stamp: device-produced data is clean by definition.
+            self._entries[key] = (container, entry[1], version)
+            self._entries.move_to_end(key)
+            return
+        buf = self._device_fn().allocator.reserve(container.nbytes, record_h2d=record_h2d)
+        self._entries[key] = (container, buf, version)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._cap:
+            _, (_, old_buf, _) = self._entries.popitem(last=False)
+            old_buf.free()
+
+    def evict_all(self) -> None:
+        """Forget residency (e.g. between benchmark repetitions)."""
+        for _, buf, _ in self._entries.values():
+            buf.free()
+        self._entries.clear()
