@@ -28,7 +28,7 @@ from ..backends.dispatch import current_backend
 from ..containers.csc import CSCMatrix
 from ..containers.csr import CSRMatrix
 from ..containers.sparsevec import SparseVector
-from ..exceptions import DimensionMismatchError, InvalidValueError
+from ..exceptions import DimensionMismatchError, DomainMismatchError, InvalidValueError
 from ..types import BOOL, GrBType
 from .accumulate import merge_matrix, merge_vector
 from .descriptor import DEFAULT, Descriptor
@@ -85,6 +85,24 @@ def _mask_cont(mask):
 def _require(cond: bool, what: str, expected, actual) -> None:
     if not cond:
         raise DimensionMismatchError(what, expected=expected, actual=actual)
+
+
+def _check_domain(op: UnaryOp, typ: GrBType) -> None:
+    """Pre-flight ``GrB_DOMAIN_MISMATCH``: probe the op on one sample value.
+
+    NumPy refuses some op/dtype pairings with a raw ``TypeError`` (e.g.
+    ``np.negative`` on booleans).  Probing a scalar sample up front turns
+    that into a uniform :class:`DomainMismatchError` from the shared
+    frontend, before any backend kernel runs — so every backend observes
+    the identical exception type.
+    """
+    try:
+        with np.errstate(all="ignore"):
+            op.func(typ.dtype.type(1))
+    except TypeError as e:
+        raise DomainMismatchError(
+            f"operator {op.name} is not defined on domain {typ.name}: {e}"
+        ) from e
 
 
 def _clean(desc: Descriptor) -> Descriptor:
@@ -279,6 +297,8 @@ def apply(
     be = current_backend()
     if isinstance(op, BinaryOp):
         op = _bind(op, bind_first, bind_second)
+    if isinstance(op, UnaryOp):
+        _check_domain(op, src.type)
     if isinstance(out, Vector):
         _require(out.size == src.size, "output size", src.size, out.size)
         if isinstance(op, IndexUnaryOp):

@@ -7,14 +7,31 @@ import pytest
 
 import repro as gb
 
-BACKENDS = ["reference", "cpu", "cuda_sim"]
+BACKENDS = ["reference", "cpu", "cuda_sim", "multi_sim"]
 
 
 @pytest.fixture(params=BACKENDS)
 def backend(request):
-    """Run the test under each backend."""
-    with gb.use_backend(request.param):
-        yield request.param
+    """Run the test under each backend.
+
+    ``multi_sim`` runs with two devices and the degree-balanced splitter so
+    every shared test also exercises the partitioned path.  Tests that probe
+    single-device internals (profiler counters, device residency, reuse
+    caches) opt out with ``pytestmark = pytest.mark.no_multi_sim``.
+    """
+    name = request.param
+    if name == "multi_sim":
+        if request.node.get_closest_marker("no_multi_sim"):
+            pytest.skip("test opts out of the multi_sim backend")
+        be = gb.get_backend("multi_sim").configure(
+            nparts=2, splitter="degree_balanced"
+        )
+        be.reset()
+        with gb.use_backend(be):
+            yield name
+        return
+    with gb.use_backend(name):
+        yield name
 
 
 @pytest.fixture

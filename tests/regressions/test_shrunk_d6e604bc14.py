@@ -1,0 +1,22 @@
+"""Auto-generated regression repro (repro.testing.shrink).
+
+Shrunk failing program: erdos_renyi_gnm(size=2, seed=1984622371, weighted=False) seed=1325872774: [mxm]
+Original divergence: backend 'cpu' diverged at op #0 (mxm): matrix values differ at 2 stored positions
+
+Reproduce / investigate with::
+
+    PYTHONPATH=src python -m repro.testing.fuzz --replay test_shrunk_d6e604bc14.py
+
+This test stays green once the underlying bug is fixed; keep it as a
+permanent regression guard.
+"""
+
+from repro.testing.executor import run_differential
+from repro.testing.programs import Program
+
+PROGRAM = {'version': 1, 'graph': {'generator': 'erdos_renyi_gnm', 'size': 2, 'seed': 1984622371, 'weighted': False}, 'seed': 1325872774, 'ops': [{'op': 'mxm', 'a': 0, 'b': 0, 'semiring': 'MIN_PLUS', 'mask': None, 'accum': None, 'desc': [], 'into': None}]}
+
+
+def test_shrunk_program_d6e604bc14():
+    divergence = run_differential(Program.from_dict(PROGRAM))
+    assert divergence is None, str(divergence)

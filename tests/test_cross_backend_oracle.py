@@ -22,6 +22,8 @@ from repro.core.semiring import (
     PLUS_TIMES,
 )
 
+from repro.testing.equivalence import assert_same, product_exact, reduce_exact
+
 from .conftest import random_dense_matrix, random_dense_vector
 
 SEMIRINGS = [PLUS_TIMES, MIN_PLUS, LOR_LAND, MIN_FIRST, MAX_SECOND, PLUS_PAIR]
@@ -31,30 +33,6 @@ FAST_BACKENDS = ["cpu", "cuda_sim"]
 def run_on(backend_name, fn):
     with use_backend(backend_name):
         return fn()
-
-
-# Semirings whose additive reduction is a float sum are only reproducible to
-# rounding (reduceat's association differs from a sequential fold); all other
-# standard semirings (MIN/MAX/LOR/FIRST/...) select stored values and must
-# match bit-for-bit.
-INEXACT = {"PLUS_TIMES"}
-
-
-def assert_same(got, expected, exact=True):
-    if exact:
-        assert got == expected
-        return
-    if isinstance(got, gb.Vector):
-        np.testing.assert_array_equal(got.indices_array(), expected.indices_array())
-        np.testing.assert_allclose(got.values_array(), expected.values_array(), rtol=1e-12)
-    elif isinstance(got, gb.Matrix):
-        assert got.shape == expected.shape
-        gc, ec = got.container, expected.container
-        np.testing.assert_array_equal(gc.indptr, ec.indptr)
-        np.testing.assert_array_equal(gc.indices, ec.indices)
-        np.testing.assert_allclose(gc.values, ec.values, rtol=1e-12)
-    else:
-        np.testing.assert_allclose(got, expected, rtol=1e-12)
 
 
 @pytest.mark.parametrize("semiring", SEMIRINGS, ids=lambda s: s.name)
@@ -73,7 +51,7 @@ class TestProductsMatchReference:
         expected = run_on("reference", go)
         for b in FAST_BACKENDS:
             got = run_on(b, go)
-            assert_same(got, expected, exact=semiring.name not in INEXACT)
+            assert_same(got, expected, exact=product_exact(semiring))
 
     def test_vxm(self, semiring, seed):
         rng = np.random.default_rng(seed + 100)
@@ -87,7 +65,7 @@ class TestProductsMatchReference:
 
         expected = run_on("reference", go)
         for b in FAST_BACKENDS:
-            assert_same(run_on(b, go), expected, exact=semiring.name not in INEXACT)
+            assert_same(run_on(b, go), expected, exact=product_exact(semiring))
 
     def test_mxm(self, semiring, seed):
         rng = np.random.default_rng(seed + 200)
@@ -101,7 +79,7 @@ class TestProductsMatchReference:
 
         expected = run_on("reference", go)
         for b in FAST_BACKENDS:
-            assert_same(run_on(b, go), expected, exact=semiring.name not in INEXACT)
+            assert_same(run_on(b, go), expected, exact=product_exact(semiring))
 
 
 @pytest.mark.parametrize("op", [PLUS, MIN, MAX, TIMES], ids=lambda o: o.name)
@@ -155,7 +133,7 @@ class TestReduceMatchReference:
 
         expected = run_on("reference", go)
         for b in FAST_BACKENDS:
-            assert_same(run_on(b, go), expected, exact=monoid.name != "PLUS_MONOID")
+            assert_same(run_on(b, go), expected, exact=reduce_exact(monoid))
 
     def test_matrix_rows(self, monoid):
         rng = np.random.default_rng(8)
@@ -167,7 +145,7 @@ class TestReduceMatchReference:
 
         expected = run_on("reference", go)
         for b in FAST_BACKENDS:
-            assert_same(run_on(b, go), expected, exact=monoid.name != "PLUS_MONOID")
+            assert_same(run_on(b, go), expected, exact=reduce_exact(monoid))
 
 
 class TestMaskedOpsMatchReference:
@@ -338,4 +316,4 @@ class TestMultiSimMatchesReference:
 
             expected = run_on("reference", go)
             got = run_on(ms, go)
-            assert_same(got, expected, exact=semiring.name not in INEXACT)
+            assert_same(got, expected, exact=product_exact(semiring))

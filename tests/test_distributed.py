@@ -38,6 +38,7 @@ from repro.distributed.partition import (
 )
 from repro.distributed.topology import DGX_NVLINK, PCIE_ONLY
 from repro.generators.rmat import rmat
+from repro.testing.equivalence import assert_same
 from repro.gpu.device import get_device, reset_device
 from repro.types import FP64
 
@@ -290,7 +291,7 @@ class TestMultiSimBackend:
             expect = gb.algorithms.sssp(g, 0)
         with use_backend(multi_sim(1)):
             got = gb.algorithms.sssp(g, 0)
-        assert got == expect
+        assert_same(got, expect, exact=True)
 
     @pytest.mark.parametrize("nparts", [2, 4])
     def test_comm_charged_only_at_p_gt_1(self, nparts):
@@ -320,7 +321,7 @@ class TestMultiSimBackend:
             expect = go()
         with use_backend(multi_sim(4)):
             got = go()
-        assert got == expect  # bitwise, because pull decomposes by row
+        assert_same(got, expect, exact=True)  # bitwise: pull decomposes by row
 
     def test_exact_push_stays_push_and_matches(self):
         rng = np.random.default_rng(13)
@@ -337,7 +338,7 @@ class TestMultiSimBackend:
         ms.reset()
         with use_backend(ms):
             got = go()
-        assert got == expect
+        assert_same(got, expect, exact=True)
         # Push across shards is a frontier exchange, not an allgather.
         assert ms.metrics()["comm"]["counts"]["frontier_exchange"] >= 1
 
@@ -348,7 +349,7 @@ class TestMultiSimBackend:
             expect = gb.algorithms.sssp(g, 0)
         with use_backend(multi_sim(3, splitter=splitter)):
             got = gb.algorithms.sssp(g, 0)
-        assert got == expect
+        assert_same(got, expect, exact=True)
 
     def test_configure_validates(self):
         from repro.exceptions import InvalidValueError

@@ -1,0 +1,181 @@
+"""Error paths must raise the *same* exception type on every backend.
+
+The differential fuzzer treats exceptions as observable behaviour — an op
+that raises on the reference backend must raise the identical
+:class:`~repro.exceptions.GraphBLASError` subclass on cpu, cuda_sim, and
+multi_sim.  This file pins the contract for each error family directly
+(dimension mismatch, domain mismatch, invalid descriptor combinations,
+index bounds, invalid values, non-empty build targets), using the shared
+``backend`` fixture so every scenario runs on all four backends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro as gb
+from repro.core import operations as ops
+from repro.core.assign import assign
+from repro.core.operators import AINV, PLUS
+from repro.core.semiring import PLUS_TIMES
+from repro.exceptions import (
+    DimensionMismatchError,
+    DomainMismatchError,
+    IndexOutOfBoundsError,
+    InvalidValueError,
+    OutputNotEmptyError,
+)
+
+
+@pytest.fixture
+def vec4():
+    return gb.Vector.from_lists([0, 1, 2], [1.0, 2.0, 3.0], 4)
+
+
+@pytest.fixture
+def mat34():
+    return gb.Matrix.from_lists([0, 1, 2], [0, 1, 2], [1.0, 2.0, 3.0], 3, 4)
+
+
+class TestDimensionMismatch:
+    def test_mxv_input_size(self, backend, mat34):
+        u_bad = gb.Vector.from_lists([0], [1.0], 7)
+        with pytest.raises(DimensionMismatchError):
+            ops.mxv(gb.Vector.sparse(gb.FP64, 3), mat34, u_bad, PLUS_TIMES)
+
+    def test_mxv_output_size(self, backend, mat34):
+        u = gb.Vector.from_lists([0], [1.0], 4)
+        with pytest.raises(DimensionMismatchError):
+            ops.mxv(gb.Vector.sparse(gb.FP64, 9), mat34, u, PLUS_TIMES)
+
+    def test_mxm_inner_dimension(self, backend, mat34):
+        b = gb.Matrix.from_lists([0], [0], [1.0], 7, 3)
+        with pytest.raises(DimensionMismatchError):
+            ops.mxm(gb.Matrix.sparse(gb.FP64, 3, 3), mat34, b, PLUS_TIMES)
+
+    def test_ewise_operand_sizes(self, backend, vec4):
+        v_bad = gb.Vector.from_lists([0], [1.0], 5)
+        with pytest.raises(DimensionMismatchError):
+            ops.ewise_add(gb.Vector.sparse(gb.FP64, 4), vec4, v_bad, PLUS)
+
+    def test_mask_size(self, backend, mat34):
+        u = gb.Vector.from_lists([0], [1.0], 4)
+        mask_bad = gb.Vector.from_lists([0], [True], 11, gb.BOOL)
+        with pytest.raises(DimensionMismatchError):
+            ops.mxv(gb.Vector.sparse(gb.FP64, 3), mat34, u, PLUS_TIMES, mask=mask_bad)
+
+    def test_assign_index_length(self, backend, vec4):
+        dst = gb.Vector.sparse(gb.FP64, 4)
+        with pytest.raises(DimensionMismatchError):
+            assign(dst, vec4, [0, 1])  # u.size == 4, only 2 indices
+
+
+class TestInvalidDescriptor:
+    def test_transpose_makes_dims_invalid(self, backend, mat34):
+        """TRANSPOSE_A on a rectangular matrix flips the required sizes."""
+        u = gb.Vector.from_lists([0], [1.0], 4)
+        d = gb.Descriptor(transpose_a=True)
+        with pytest.raises(DimensionMismatchError):
+            # Aᵀ is 4x3, so u must have size 3 and w size 4 — both wrong.
+            ops.mxv(gb.Vector.sparse(gb.FP64, 3), mat34, u, PLUS_TIMES, desc=d)
+
+    def test_transpose_output_shape(self, backend, mat34):
+        # With TRANSPOSE_A the op computes (Aᵀ)ᵀ == A, so the output must
+        # be A-shaped (3x4); the plain-transpose shape 4x3 becomes wrong.
+        d = gb.Descriptor(transpose_a=True)
+        with pytest.raises(DimensionMismatchError):
+            ops.transpose(gb.Matrix.sparse(gb.FP64, 4, 3), mat34, desc=d)
+
+
+class TestDomainMismatch:
+    """np-level type errors surface as DomainMismatchError pre-flight."""
+
+    def test_apply_negate_bool_vector(self, backend):
+        v = gb.Vector.from_lists([0, 2], [True, True], 4, gb.BOOL)
+        with pytest.raises(DomainMismatchError):
+            ops.apply(gb.Vector.sparse(gb.BOOL, 4), v, AINV)
+
+    def test_apply_negate_bool_matrix(self, backend):
+        m = gb.Matrix.from_lists([0], [1], [True], 3, 3, gb.BOOL)
+        with pytest.raises(DomainMismatchError):
+            ops.apply(gb.Matrix.sparse(gb.BOOL, 3, 3), m, AINV)
+
+    def test_domain_mismatch_is_a_type_error(self, backend):
+        """Pythonic callers catching TypeError keep working."""
+        v = gb.Vector.from_lists([0], [True], 2, gb.BOOL)
+        with pytest.raises(TypeError):
+            ops.apply(gb.Vector.sparse(gb.BOOL, 2), v, AINV)
+
+
+class TestIndexOutOfBounds:
+    def test_extract_vector(self, backend, vec4):
+        with pytest.raises(IndexOutOfBoundsError):
+            ops.extract(gb.Vector.sparse(gb.FP64, 3), vec4, [0, 2, 9])
+
+    def test_extract_submatrix(self, backend, mat34):
+        with pytest.raises(IndexOutOfBoundsError):
+            ops.extract_submatrix(
+                gb.Matrix.sparse(gb.FP64, 2, 2), mat34, [0, 5], [0, 1]
+            )
+
+    def test_vector_getitem(self, backend, vec4):
+        with pytest.raises(IndexOutOfBoundsError):
+            vec4[17]
+
+
+class TestInvalidValue:
+    def test_duplicate_build_without_dup(self, backend):
+        with pytest.raises(InvalidValueError):
+            gb.Vector.from_lists([1, 1], [1.0, 2.0], 4)
+
+    def test_negative_dimension(self, backend):
+        with pytest.raises(InvalidValueError):
+            gb.Matrix.sparse(gb.FP64, -1, 4)
+
+
+class TestOutputNotEmpty:
+    def test_vector_build_on_nonempty(self, backend, vec4):
+        with pytest.raises(OutputNotEmptyError):
+            vec4.build([3], [9.0])
+
+    def test_matrix_build_on_nonempty(self, backend, mat34):
+        with pytest.raises(OutputNotEmptyError):
+            mat34.build([0], [0], [9.0])
+
+
+class TestInvalidProgramMode:
+    """The generator's invalid-program mode covers these paths at scale.
+
+    ``generate_invalid_program`` splices deliberately ill-formed ops into a
+    valid program; every backend must raise the identical exception type at
+    the same op, recorded as a ``("raised", type)`` snapshot, and the
+    program must keep running identically afterwards.
+    """
+
+    def test_invalid_ops_raise_and_snapshot(self):
+        from repro.testing import INVALID_OPS, generate_invalid_program
+        from repro.testing.executor import execute
+
+        seen_kinds = set()
+        for seed in range(25):
+            p = generate_invalid_program(seed)
+            seen_kinds.update(o["op"] for o in p.ops if o["op"] in INVALID_OPS)
+            snaps = execute(p, "reference")
+            raised = [s for s in snaps if isinstance(s, tuple) and s[0] == "raised"]
+            assert raised, "invalid program produced no exception snapshot"
+            for _, exc_name in raised:
+                assert exc_name in (
+                    "DimensionMismatchError",
+                    "DomainMismatchError",
+                    "IndexOutOfBoundsError",
+                )
+        assert len(seen_kinds) >= 3  # mode actually varies the error family
+
+    def test_exception_types_identical_on_every_backend(self):
+        from repro.testing import generate_invalid_program
+        from repro.testing.executor import DEFAULT_SPECS, run_differential
+
+        for seed in range(10):
+            d = run_differential(generate_invalid_program(seed), DEFAULT_SPECS)
+            assert d is None, str(d)

@@ -1,0 +1,84 @@
+"""Every graph generator must be bit-deterministic for a fixed seed.
+
+The fuzzer stores graphs as (generator, size, seed, weighted) recipes and
+regenerates them on every backend replay — and the nightly CI job replays
+failures from a different process on a different machine.  That only works
+if identical seeds produce identical COO data *across process boundaries*
+(no dict-ordering, id()-hashing, or uninitialised-memory dependence).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.testing.programs import GRAPH_RECIPES
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def _graph_digest(name: str, size: int, seed: int, weighted: bool) -> str:
+    """SHA-256 over the exact COO content of one recipe's graph."""
+    m = GRAPH_RECIPES[name](size, seed, weighted)
+    ri, ci, vv = m.to_lists()
+    h = hashlib.sha256()
+    h.update(np.asarray(ri, dtype=np.int64).tobytes())
+    h.update(np.asarray(ci, dtype=np.int64).tobytes())
+    h.update(np.asarray(vv, dtype=np.float64).tobytes())
+    h.update(f"{m.nrows}x{m.ncols}".encode())
+    return h.hexdigest()
+
+
+@pytest.mark.parametrize("name", sorted(GRAPH_RECIPES))
+def test_same_seed_same_graph_in_process(name):
+    for seed in (0, 7):
+        a = _graph_digest(name, 14, seed, True)
+        b = _graph_digest(name, 14, seed, True)
+        assert a == b
+    # and different seeds must (for the random families) be allowed to
+    # differ — deterministic structures (cycle, path, ...) legitimately
+    # ignore the seed, so only assert equality above.
+
+
+def test_same_seed_same_graph_across_processes():
+    """Spawn a fresh interpreter and compare digests for every generator."""
+    script = (
+        "import json, sys; sys.path.insert(0, 'src'); sys.path.insert(0, 'tests');"
+        "from test_generator_determinism import _graph_digest;"
+        "from repro.testing.programs import GRAPH_RECIPES;"
+        "print(json.dumps({n: _graph_digest(n, 14, 7, True)"
+        "                  for n in sorted(GRAPH_RECIPES)}))"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True, text=True, cwd=REPO, check=True,
+        env={"PYTHONPATH": "src", "PYTHONHASHSEED": "random"},
+    )
+    theirs = json.loads(out.stdout)
+    ours = {n: _graph_digest(n, 14, 7, True) for n in sorted(GRAPH_RECIPES)}
+    assert theirs == ours
+
+
+def test_program_generation_deterministic_across_processes():
+    """The fuzzer's program stream itself is process-independent."""
+    script = (
+        "import json, sys; sys.path.insert(0, 'src');"
+        "from repro.testing import generate_program;"
+        "print(json.dumps([generate_program(s).to_json() for s in range(10)]))"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True, text=True, cwd=REPO, check=True,
+        env={"PYTHONPATH": "src", "PYTHONHASHSEED": "random"},
+    )
+    from repro.testing import generate_program
+
+    theirs = json.loads(out.stdout)
+    ours = [generate_program(s).to_json() for s in range(10)]
+    assert theirs == ours
