@@ -83,7 +83,7 @@ def label_propagation(g: Matrix, max_iter: int = 100) -> Vector:
     # Canonicalise: rename each community to its smallest member id.
     canon = {}
     out = np.empty(n, dtype=np.int64)
-    order = np.argsort(labels, kind="stable")
+    order = np.argsort(labels, kind="stable")  # gbsan: ok(argsort) -- label canonicalisation, once per sweep, not a kernel hot path
     for v in range(n):
         lbl = labels[v]
         if lbl not in canon:

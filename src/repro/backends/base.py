@@ -327,7 +327,7 @@ class Backend(ABC):
         rows = np.asarray(rows, dtype=np.int64)
         cols = np.asarray(cols, dtype=np.int64)
         # Column gather table: for each source col, list of target positions.
-        col_order = np.argsort(cols, kind="stable")
+        col_order = np.argsort(cols, kind="stable")  # gbsan: ok(argsort) -- reference-backend extract, correctness oracle only
         sorted_cols = cols[col_order]
         out_rows, out_cols, out_vals = [], [], []
         for p, src_r in enumerate(rows):

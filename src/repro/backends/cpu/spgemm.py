@@ -123,7 +123,7 @@ def _csr_from_flat(nrows, ncols, out_keys, out_vals, out_type) -> CSRMatrix:
 
 def _sorted_reduce_flat(nrows, ncols, keys, prods, semiring, out_type) -> CSRMatrix:
     """Generic fallback: stable sort by flat key, then segment-reduce."""
-    order = np.argsort(keys, kind="stable")
+    order = np.argsort(keys, kind="stable")  # gbsan: ok(argsort) -- generic fallback; hot shapes take the sort-free fastpath
     keys = keys[order]
     prods = prods[order]
     starts = run_starts(keys)

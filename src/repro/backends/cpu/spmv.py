@@ -196,7 +196,7 @@ def scatter_product(
             return SparseVector(
                 n_out, keys, vals.astype(out_type.dtype, copy=False), out_type
             )
-    order = np.argsort(cols, kind="stable")
+    order = np.argsort(cols, kind="stable")  # gbsan: ok(argsort) -- generic fallback; hot shapes take the sort-free fastpath
     keys = cols[order]
     prods = prods[order]
     starts = run_starts(keys)

@@ -72,6 +72,7 @@ _TRANSPOSE_MEMOISED = Kernel(
     TRANSPOSE_COUNTSORT.name,
     lambda a: a.cached_transpose(),
     TRANSPOSE_COUNTSORT.work,
+    accesses=TRANSPOSE_COUNTSORT.accesses,
 )
 
 
@@ -121,7 +122,9 @@ class CudaSimBackend(Backend):
 
     def download(self, container) -> Any:
         """Model an explicit D2H copy of a result; returns the container."""
-        charge_transfer(container.nbytes, "d2h", device=self._dev())
+        charge_transfer(
+            container.nbytes, "d2h", device=self._dev(), container=container
+        )
         return container
 
     def evict_all(self) -> None:
@@ -140,7 +143,14 @@ class CudaSimBackend(Backend):
         device-side consumers share one transpose per version.
         """
         if not reuse.aux_cache_enabled():
-            return launch(TRANSPOSE_COUNTSORT, LaunchConfig.cover(a.nvals), a, device=self._dev())
+            out = launch(
+                TRANSPOSE_COUNTSORT, LaunchConfig.cover(a.nvals), a, device=self._dev()
+            )
+            # The transpose is produced on-device; without this mark the
+            # push/pull kernel that consumes it next would read an
+            # unresident container (gbsan residency gap).
+            self._mark_resident(out)
+            return out
         hit = a._aux.get("tcsr")
         if hit is not None and hit in self._resident:
             self._mark_resident(hit)  # LRU touch
@@ -206,6 +216,11 @@ class CudaSimBackend(Backend):
             pull_indptr=a.indptr,
         )
         if d == "push":
+            if mask is not None:
+                # The push kernel probes the mask bitmap in-kernel; it must
+                # be on the device (gbsan residency gap: the upload was
+                # never charged before).
+                self._ensure_resident(mask)
             tcsr = self._transposed_operand(a, csc)
             cfg = LaunchConfig.cover(max(u.nvals, 1) * 32)
             out = launch(
@@ -247,6 +262,9 @@ class CudaSimBackend(Backend):
             pull_indptr=csc.indptr if csc is not None else None,
         )
         if d == "push":
+            if mask is not None:
+                # Same in-kernel mask probe as mxv's push path.
+                self._ensure_resident(mask)
             cfg = LaunchConfig.cover(max(u.nvals, 1) * 32)
             out = launch(
                 SPMSV_PUSH, cfg, a, u, semiring, out_t, True, mask, desc,
@@ -406,7 +424,7 @@ class CudaSimBackend(Backend):
         t = monoid.result_type(u.type)
         val = launch(
             REDUCE_TREE, LaunchConfig.cover(u.nvals), u.values, monoid, u.type,
-            device=self._dev(),
+            device=self._dev(), san_reads=(u,),
         )
         return t.cast(val)
 
@@ -424,7 +442,7 @@ class CudaSimBackend(Backend):
         t = monoid.result_type(a.type)
         val = launch(
             REDUCE_TREE, LaunchConfig.cover(a.nvals), a.values, monoid, a.type,
-            device=self._dev(),
+            device=self._dev(), san_reads=(a,),
         )
         return t.cast(val)
 
@@ -449,6 +467,7 @@ class CudaSimBackend(Backend):
             float(src.nvals),
             src.type.nbytes,
             device=self._dev(),
+            san_reads=(src,),
         )
         self._mark_resident(out)
         return out
@@ -482,6 +501,7 @@ class CudaSimBackend(Backend):
             len(idx),
             u.type.nbytes,
             device=self._dev(),
+            san_reads=(u,),
         )
         self._mark_resident(out)
         return out
@@ -495,6 +515,7 @@ class CudaSimBackend(Backend):
             float(len(rows)) * max(len(cols), 1),
             a.type.nbytes,
             device=self._dev(),
+            san_reads=(a,),
         )
         self._mark_resident(out)
         return out
@@ -502,5 +523,5 @@ class CudaSimBackend(Backend):
     def charge_assign(self, nvals: int, out) -> None:
         launch(
             SCATTER_ASSIGN, LaunchConfig.cover(nvals), float(nvals), 8,
-            device=self._dev(),
+            device=self._dev(), san_writes=(out,),
         )

@@ -28,6 +28,7 @@ from ...core.operators import BinaryOp, UnaryOp
 from ...core.semiring import Semiring
 from ...gpu.costmodel import KernelWork
 from ...gpu.kernel import Kernel
+from ...sanitizer.access import Access
 from ...gpu.simt import (
     COALESCING,
     divergence_thread_per_row,
@@ -82,6 +83,23 @@ def combine_coalescing(parts: Iterable[Tuple[float, str]]) -> Tuple[float, float
 _IDX = 8  # bytes per index (int64)
 
 
+def _reads_all(*args, **kwargs) -> Access:
+    """Access declaration: every container operand is read, none written.
+
+    All kernels in this backend are functional — they build fresh output
+    containers rather than mutating operands — so the read set is exactly
+    the container-like launch args (the sanitizer's tracking predicate
+    filters out semirings, scalars, and ``None`` masks).
+    """
+    return Access(reads=tuple(args) + tuple(kwargs.values()))
+
+
+def _no_declared_access(*args, **kwargs) -> Access:
+    """Operands reach this kernel through thunks/arrays; the launch site
+    declares them via ``san_reads``/``san_writes``."""
+    return Access()
+
+
 # ---------------------------------------------------------------------------
 # SpMV — warp-per-row CSR-vector kernel (pull direction)
 # ---------------------------------------------------------------------------
@@ -118,7 +136,7 @@ def _spmv_work(a: CSRMatrix, u: SparseVector, semiring, out_type, flip, rows) ->
     )
 
 
-SPMV_CSR_VECTOR = Kernel("spmv_csr_vector", _spmv_run, _spmv_work)
+SPMV_CSR_VECTOR = Kernel("spmv_csr_vector", _spmv_run, _spmv_work, accesses=_reads_all)
 
 
 # ---------------------------------------------------------------------------
@@ -177,7 +195,7 @@ def _spmsv_work(
     )
 
 
-SPMSV_PUSH = Kernel("spmsv_push", _spmsv_run, _spmsv_work)
+SPMSV_PUSH = Kernel("spmsv_push", _spmsv_run, _spmsv_work, accesses=_reads_all)
 
 
 # ---------------------------------------------------------------------------
@@ -241,7 +259,9 @@ def _frontier_push_work(levels, frontier, a, value, semiring, desc) -> KernelWor
     )
 
 
-SPMV_PUSH_FUSED = Kernel("spmv_push_fused", _frontier_push_run, _frontier_push_work)
+SPMV_PUSH_FUSED = Kernel(
+    "spmv_push_fused", _frontier_push_run, _frontier_push_work, accesses=_reads_all
+)
 
 
 def _frontier_pull_run(levels, frontier, tcsr, value, semiring, desc):
@@ -282,7 +302,9 @@ def _frontier_pull_work(levels, frontier, tcsr, value, semiring, desc) -> Kernel
     )
 
 
-SPMV_PULL_FUSED = Kernel("spmv_pull_fused", _frontier_pull_run, _frontier_pull_work)
+SPMV_PULL_FUSED = Kernel(
+    "spmv_pull_fused", _frontier_pull_run, _frontier_pull_work, accesses=_reads_all
+)
 
 
 # ---------------------------------------------------------------------------
@@ -318,8 +340,12 @@ def _ewise_apply_work(x, y, binop, unop, union) -> KernelWork:
     )
 
 
-EWISE_APPLY_FUSED_V = Kernel("ewise_apply_fused_v", _ewise_apply_run_v, _ewise_apply_work)
-EWISE_APPLY_FUSED_M = Kernel("ewise_apply_fused_m", _ewise_apply_run_m, _ewise_apply_work)
+EWISE_APPLY_FUSED_V = Kernel(
+    "ewise_apply_fused_v", _ewise_apply_run_v, _ewise_apply_work, accesses=_reads_all
+)
+EWISE_APPLY_FUSED_M = Kernel(
+    "ewise_apply_fused_m", _ewise_apply_run_m, _ewise_apply_work, accesses=_reads_all
+)
 
 
 # ---------------------------------------------------------------------------
@@ -360,7 +386,7 @@ def _spgemm_work(a: CSRMatrix, b: CSRMatrix, semiring, out_type) -> KernelWork:
     )
 
 
-SPGEMM_HASH = Kernel("spgemm_hash", _spgemm_run, _spgemm_work)
+SPGEMM_HASH = Kernel("spgemm_hash", _spgemm_run, _spgemm_work, accesses=_reads_all)
 
 
 def _spgemm_masked_run(a, b, semiring, out_type, allowed_keys):
@@ -404,7 +430,9 @@ def _spgemm_masked_work(a: CSRMatrix, b: CSRMatrix, semiring, out_type, allowed_
     )
 
 
-SPGEMM_HASH_MASKED = Kernel("spgemm_hash_masked", _spgemm_masked_run, _spgemm_masked_work)
+SPGEMM_HASH_MASKED = Kernel(
+    "spgemm_hash_masked", _spgemm_masked_run, _spgemm_masked_work, accesses=_reads_all
+)
 
 
 # ---------------------------------------------------------------------------
@@ -440,10 +468,22 @@ def _ewise_work_m(a: CSRMatrix, b: CSRMatrix, op) -> KernelWork:
     )
 
 
-EWISE_ADD_V = Kernel("ewise_add_v", lambda u, v, op: ewise_add_vec(u, v, op), _ewise_work_v)
-EWISE_MULT_V = Kernel("ewise_mult_v", lambda u, v, op: ewise_mult_vec(u, v, op), _ewise_work_v)
-EWISE_ADD_M = Kernel("ewise_add_m", lambda a, b, op: ewise_add_mat(a, b, op), _ewise_work_m)
-EWISE_MULT_M = Kernel("ewise_mult_m", lambda a, b, op: ewise_mult_mat(a, b, op), _ewise_work_m)
+EWISE_ADD_V = Kernel(
+    "ewise_add_v", lambda u, v, op: ewise_add_vec(u, v, op), _ewise_work_v,
+    accesses=_reads_all,
+)
+EWISE_MULT_V = Kernel(
+    "ewise_mult_v", lambda u, v, op: ewise_mult_vec(u, v, op), _ewise_work_v,
+    accesses=_reads_all,
+)
+EWISE_ADD_M = Kernel(
+    "ewise_add_m", lambda a, b, op: ewise_add_mat(a, b, op), _ewise_work_m,
+    accesses=_reads_all,
+)
+EWISE_MULT_M = Kernel(
+    "ewise_mult_m", lambda a, b, op: ewise_mult_mat(a, b, op), _ewise_work_m,
+    accesses=_reads_all,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -473,8 +513,8 @@ def _apply_work_m(a: CSRMatrix, op) -> KernelWork:
     )
 
 
-APPLY_V = Kernel("apply_v", lambda u, op: apply_vec(u, op), _apply_work_v)
-APPLY_M = Kernel("apply_m", lambda a, op: apply_mat(a, op), _apply_work_m)
+APPLY_V = Kernel("apply_v", lambda u, op: apply_vec(u, op), _apply_work_v, accesses=_reads_all)
+APPLY_M = Kernel("apply_m", lambda a, op: apply_mat(a, op), _apply_work_m, accesses=_reads_all)
 
 
 def _reduce_tree_run(values: np.ndarray, monoid: Monoid, typ: GrBType):
@@ -493,7 +533,9 @@ def _reduce_tree_work(values: np.ndarray, monoid, typ) -> KernelWork:
     )
 
 
-REDUCE_TREE = Kernel("reduce_tree", _reduce_tree_run, _reduce_tree_work)
+REDUCE_TREE = Kernel(
+    "reduce_tree", _reduce_tree_run, _reduce_tree_work, accesses=_no_declared_access
+)
 
 
 def _reduce_rows_work(a: CSRMatrix, monoid) -> KernelWork:
@@ -510,7 +552,8 @@ def _reduce_rows_work(a: CSRMatrix, monoid) -> KernelWork:
 
 
 REDUCE_ROWS = Kernel(
-    "reduce_rows", lambda a, monoid: reduce_mat_vector(a, monoid), _reduce_rows_work
+    "reduce_rows", lambda a, monoid: reduce_mat_vector(a, monoid), _reduce_rows_work,
+    accesses=_reads_all,
 )
 
 
@@ -533,7 +576,7 @@ def _transpose_work(a: CSRMatrix) -> KernelWork:
 
 
 TRANSPOSE_COUNTSORT = Kernel(
-    "transpose_countsort", lambda a: a.transpose(), _transpose_work
+    "transpose_countsort", lambda a: a.transpose(), _transpose_work, accesses=_reads_all
 )
 
 
@@ -558,7 +601,10 @@ def _gather_run(fn, n, item):
     return fn()
 
 
-GATHER = Kernel("gather_extract", _gather_run, lambda fn, n, item: _gather_work(n, item))
+GATHER = Kernel(
+    "gather_extract", _gather_run, lambda fn, n, item: _gather_work(n, item),
+    accesses=_no_declared_access,
+)
 
 
 def _scatter_work(nvals: float, item: int) -> KernelWork:
@@ -573,7 +619,8 @@ def _scatter_work(nvals: float, item: int) -> KernelWork:
 
 
 SCATTER_ASSIGN = Kernel(
-    "scatter_assign", lambda n, item: None, lambda n, item: _scatter_work(n, item)
+    "scatter_assign", lambda n, item: None, lambda n, item: _scatter_work(n, item),
+    accesses=_no_declared_access,
 )
 
 
@@ -600,5 +647,6 @@ def _select_run(fn, nvals, item):
 
 
 SELECT_COMPACT = Kernel(
-    "select_compact", _select_run, lambda fn, nvals, item: _select_work(nvals, item)
+    "select_compact", _select_run, lambda fn, nvals, item: _select_work(nvals, item),
+    accesses=_no_declared_access,
 )

@@ -61,6 +61,7 @@ from ...exceptions import InvalidValueError
 from ...gpu import reuse
 from ...gpu.device import Device, DeviceProperties, K40
 from ...gpu.kernel import LaunchConfig, charge_transfer, launch
+from ...sanitizer import runtime as _gbsan
 from ..base import Backend
 from ..cpu.ewise import ewise_add_vec, ewise_mult_vec
 from ..cpu.reduce_apply import apply_mat, apply_vec, reduce_mat_vector
@@ -194,6 +195,12 @@ class MultiSimBackend(Backend):
                 k: v for k, v in self._sliced.items() if v[0].version == v[1]
             }
         self._sliced[id(c)] = (c, c.version)
+        san = _gbsan.ACTIVE
+        if san is not None:
+            # Each device holds its owned slice: give every device a derived
+            # shadow entry so shard-wise reads pass the residency checker.
+            for p in range(self.nparts):
+                san.note_derived(self._dev(p), c, c)
 
     def _ensure_replicated(self, c) -> None:
         """Every device must hold the full container; charge what that takes."""
@@ -238,9 +245,11 @@ class MultiSimBackend(Backend):
         if self._is_sliced(container):
             per = int(container.nbytes / self.nparts)
             for p in range(self.nparts):
-                charge_transfer(per, "d2h", device=self._dev(p))
+                charge_transfer(per, "d2h", device=self._dev(p), container=container)
         else:
-            charge_transfer(container.nbytes, "d2h", device=self._dev(0))
+            charge_transfer(
+                container.nbytes, "d2h", device=self._dev(0), container=container
+            )
         return container
 
     def kernel_graph(self, name: str):
@@ -287,6 +296,10 @@ class MultiSimBackend(Backend):
             return part
         ta = a.cached_transpose()
         part = PartitionedCSR(ta, self.nparts, self.splitter)
+        for ex, shard in zip(self._cluster.executors, part.shards):
+            # The shard materialises on its device as the sort runs; mark
+            # residency first so the pricing launch reads a known buffer.
+            ex._mark_resident(shard)
         for p, shard in enumerate(part.shards):
             if shard.nvals:
                 self._launch_uncaptured(
@@ -323,12 +336,15 @@ class MultiSimBackend(Backend):
         """Sharded push: local expansions → sparse exchange → owner folds."""
         n_out = parts.ncols
         uv = PartitionedVector(u, parts.splitters)
+        san = _gbsan.ACTIVE
         partials, send = [], []
         for p, shard in enumerate(parts.shards):
             ush = uv.shard(p)
             if shard.nvals == 0 or ush.nvals == 0:
                 send.append(0.0)
                 continue
+            if san is not None:
+                san.note_derived(self._dev(p), ush, u)
             t_p = launch(
                 SPMSV_PUSH,
                 LaunchConfig.cover(max(ush.nvals, 1) * 32),
@@ -377,7 +393,7 @@ class MultiSimBackend(Backend):
                 local_rows = None
                 nloc = shard.nrows
             else:
-                s, e = np.searchsorted(rows, (lo, hi))
+                s, e = np.searchsorted(rows, (lo, hi))  # gbsan: ok(uncharged-numpy) -- O(log n) shard-boundary lookup, not device work
                 local_rows = (rows[s:e] - lo).astype(np.int64)
                 nloc = int(local_rows.size)
             if shard.nvals == 0 or u.nvals == 0 or nloc == 0:
@@ -530,12 +546,16 @@ class MultiSimBackend(Backend):
         self._ensure_available(v)
         sp = equal_rows_splitters(u.size, self.nparts)
         pu, pv = PartitionedVector(u, sp), PartitionedVector(v, sp)
+        san = _gbsan.ACTIVE
         outs = []
         for p in range(self.nparts):
             su, sv = pu.shard(p), pv.shard(p)
             outs.append(semantic(su, sv))
             n = su.nvals + sv.nvals
             if n:
+                if san is not None:
+                    san.note_derived(self._dev(p), su, u)
+                    san.note_derived(self._dev(p), sv, v)
                 launch(kernel, LaunchConfig.cover(n), su, sv, *kargs, device=self._dev(p))
         out = PartitionedVector.reassemble(outs, sp, typ=outs[0].type)
         self._mark_sliced(out)
@@ -545,6 +565,7 @@ class MultiSimBackend(Backend):
         self._ensure_available(a)
         self._ensure_available(b)
         sp = equal_rows_splitters(a.nrows, self.nparts)
+        san = _gbsan.ACTIVE
         outs = []
         for p in range(self.nparts):
             lo, hi = int(sp[p]), int(sp[p + 1])
@@ -552,6 +573,9 @@ class MultiSimBackend(Backend):
             outs.append(semantic(sa, sb))
             n = sa.nvals + sb.nvals
             if n:
+                if san is not None:
+                    san.note_derived(self._dev(p), sa, a)
+                    san.note_derived(self._dev(p), sb, b)
                 launch(kernel, LaunchConfig.cover(n), sa, sb, *kargs, device=self._dev(p))
         out = concat_row_blocks(outs, a.ncols, outs[0].type)
         self._mark_sliced(out)
@@ -687,11 +711,14 @@ class MultiSimBackend(Backend):
         self._ensure_available(u)
         sp = equal_rows_splitters(u.size, self.nparts)
         pu = PartitionedVector(u, sp)
+        san = _gbsan.ACTIVE
         outs = []
         for p in range(self.nparts):
             su = pu.shard(p)
             outs.append(apply_vec(su, op))
             if su.nvals:
+                if san is not None:
+                    san.note_derived(self._dev(p), su, u)
                 launch(APPLY_V, LaunchConfig.cover(su.nvals), su, op, device=self._dev(p))
         out = PartitionedVector.reassemble(outs, sp, typ=op.result_type(u.type))
         self._mark_sliced(out)
@@ -791,7 +818,7 @@ class MultiSimBackend(Backend):
         for p in range(self.nparts):
             launch(
                 kernel, LaunchConfig.cover(int(per)), _noop, per, item_bytes,
-                device=self._dev(p),
+                device=self._dev(p), san_reads=(src,),
             )
 
     def select_vector(self, u, op, thunk):

@@ -17,7 +17,13 @@ from __future__ import annotations
 
 from ...gpu.costmodel import KernelWork
 from ...gpu.kernel import Kernel
-from ..cuda_sim.kernels import _IDX, _transpose_work, combine_coalescing
+from ..cuda_sim.kernels import (
+    _IDX,
+    _no_declared_access,
+    _reads_all,
+    _transpose_work,
+    combine_coalescing,
+)
 
 __all__ = ["PARTIAL_MERGE", "TRANSPOSE_SHARD"]
 
@@ -45,6 +51,7 @@ PARTIAL_MERGE = Kernel(
     "partial_merge",
     lambda nvals, item: None,
     lambda nvals, item: _partial_merge_work(nvals, item),
+    accesses=_no_declared_access,  # charge-only; operands are scalars
 )
 
 
@@ -55,4 +62,5 @@ TRANSPOSE_SHARD = Kernel(
     "transpose_shard",
     lambda shard: None,
     _transpose_work,
+    accesses=_reads_all,
 )

@@ -182,7 +182,7 @@ class Matrix:
         lo, hi = int(m.indptr[i]), int(m.indptr[i + 1])
         k = lo + int(np.searchsorted(m.indices[lo:hi], j))
         if k < hi and m.indices[k] == j:
-            m.values[k] = value
+            m.values[k] = value  # gbsan: ok(container-mutation) -- setElement overwrite; bump_version below flips the dirty bit
             # In-place overwrite: the container object survives, so cached
             # auxiliary structures and device-resident copies must be
             # invalidated through the mutation counter (dirty bit).

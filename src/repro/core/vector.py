@@ -140,7 +140,7 @@ class Vector:
         value = self.type.cast(value)
         k = int(np.searchsorted(c.indices, i))
         if k < c.nvals and c.indices[k] == i:
-            c.values[k] = value
+            c.values[k] = value  # gbsan: ok(container-mutation) -- setElement overwrite; bump_version below flips the dirty bit
             # In-place overwrite: bump the mutation counter so cached aux
             # structures and device-resident copies are invalidated.
             c.bump_version()

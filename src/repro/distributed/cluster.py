@@ -26,16 +26,43 @@ meaning exactly what they mean on one device.
 from __future__ import annotations
 
 from contextlib import ExitStack, contextmanager
-from typing import List
+from dataclasses import dataclass
+from typing import List, Tuple
 
 from ..gpu.device import Device, DeviceProperties, K40
 from ..gpu.graph import GraphStats, KernelGraph, NullKernelGraph
 from ..gpu.profiler import LaunchRecord
 from ..gpu.stream import Stream
+from ..sanitizer import runtime as _gbsan
 from .comm import CommModel
 from .topology import DGX_NVLINK, Topology
 
-__all__ = ["SimCluster", "ClusterKernelGraph"]
+__all__ = ["OrderingEdge", "SimCluster", "ClusterKernelGraph"]
+
+
+@dataclass(frozen=True)
+class OrderingEdge:
+    """One explicit cluster-wide synchronisation point.
+
+    Every :meth:`SimCluster.barrier` and every collective charged through
+    :meth:`SimCluster.charge_comm` appends one edge to
+    :attr:`SimCluster.edges` instead of ordering devices only through
+    charge-time clock side effects.  The edge is the unit gbsan's
+    happens-before checker consumes (all participating device/stream
+    timelines merge at an edge), and it doubles as an audit trail: the
+    sequence of edges *is* the cluster's synchronisation history.
+    """
+
+    kind: str  # "barrier" or the collective primitive name
+    seq: int  # position in the cluster's edge history
+    time_us: float  # cluster clock when the edge takes effect
+    duration_us: float = 0.0  # modeled duration (collectives only)
+    nbytes: float = 0.0  # total bytes moved (collectives only)
+    participants: Tuple[int, ...] = ()  # device ordinals synchronised
+
+    def __str__(self) -> str:
+        extra = f" {self.nbytes:.0f}B/{self.duration_us:.1f}us" if self.nbytes else ""
+        return f"edge#{self.seq} {self.kind}@{self.time_us:.1f}us{extra}"
 
 
 class SimCluster:
@@ -56,6 +83,8 @@ class SimCluster:
         self.streams: List[Stream] = [Stream(dev) for dev in self.devices]
         self.executors = [CudaSimBackend(device=dev) for dev in self.devices]
         self.comm = CommModel(topology, self.nparts)
+        # Explicit synchronisation history; see OrderingEdge.
+        self.edges: List[OrderingEdge] = []
 
     # ------------------------------------------------------------------
     # Time
@@ -66,8 +95,22 @@ class SimCluster:
         """The cluster finishes when its last device does."""
         return max(dev.clock_us for dev in self.devices)
 
+    def _note_edge(self, edge: OrderingEdge) -> OrderingEdge:
+        """Record one explicit ordering edge and feed it to the sanitizer."""
+        self.edges.append(edge)
+        san = _gbsan.ACTIVE
+        if san is not None:
+            san.on_cluster_edge(edge, self.devices, self.streams)
+        return edge
+
     def barrier(self) -> float:
-        """Event-synchronise every device to the furthest clock."""
+        """Event-synchronise every device to the furthest clock.
+
+        The clock/timeline movements below charge the barrier's *time*; its
+        *ordering* is published as an explicit :class:`OrderingEdge` so
+        consumers (gbsan's happens-before checker, diagnostics) never have
+        to reverse-engineer it from charge-time side effects.
+        """
         for s, d in zip(self.streams, self.devices):
             if d.clock_us > s.timeline_us:
                 s.timeline_us = d.clock_us
@@ -79,10 +122,24 @@ class SimCluster:
         for d in self.devices:
             if d.clock_us < t:
                 d.advance(t - d.clock_us)
+        self._note_edge(
+            OrderingEdge(
+                kind="barrier",
+                seq=len(self.edges),
+                time_us=t,
+                participants=tuple(range(self.nparts)),
+            )
+        )
         return t
 
     def charge_comm(self, primitive: str, duration_us: float, nbytes: float) -> None:
-        """Charge one collective: barrier, then ``duration_us`` everywhere."""
+        """Charge one collective: barrier, then ``duration_us`` everywhere.
+
+        A collective contributes two ordering edges: the entry barrier
+        (recorded by :meth:`barrier`) and a completion edge recorded here —
+        participants are mutually ordered again once the exchanged data has
+        landed.
+        """
         if self.nparts <= 1 or duration_us <= 0.0:
             return
         start = self.barrier()
@@ -98,6 +155,16 @@ class SimCluster:
                     bytes=per_dev_bytes,
                 )
             )
+        self._note_edge(
+            OrderingEdge(
+                kind=primitive,
+                seq=len(self.edges),
+                time_us=start + duration_us,
+                duration_us=duration_us,
+                nbytes=nbytes,
+                participants=tuple(range(self.nparts)),
+            )
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -112,6 +179,7 @@ class SimCluster:
         for s, d in zip(self.streams, self.devices):
             s.timeline_us = d.clock_us
         self.comm.stats.reset()
+        self.edges.clear()
 
     def evict_all(self) -> None:
         for ex in self.executors:

@@ -112,3 +112,14 @@ class DeviceOutOfMemoryError(DeviceError):
 
 class InvalidLaunchError(DeviceError, ValueError):
     """A kernel launch configuration is invalid (grid/block out of range)."""
+
+
+class SanitizerError(DeviceError):
+    """gbsan (strict mode) detected a hazard on the simulated device.
+
+    Carries the triggering :class:`repro.sanitizer.Finding` as ``finding``.
+    """
+
+    def __init__(self, finding) -> None:
+        super().__init__(str(finding))
+        self.finding = finding

@@ -111,6 +111,13 @@ class Device:
 
     def reset(self) -> None:
         """Clear clock, profiler, and allocations (between benchmark runs)."""
+        from ..sanitizer import runtime as _gbsan
+
+        san = _gbsan.ACTIVE
+        if san is not None:
+            # Leak report: buffers still allocated that no resident set
+            # references would never be freed by a real driver at this point.
+            san.on_device_reset(self)
         self.allocator.reset()
         self.profiler.reset()
         self.clock_us = 0.0

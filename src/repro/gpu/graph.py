@@ -24,11 +24,15 @@ Graphs.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
 
+from ..sanitizer import runtime as _gbsan
 from .costmodel import KernelWork
 from .device import Device, get_device
 from .profiler import LaunchRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle with kernel.py
+    from .kernel import Kernel
 
 __all__ = ["GraphStats", "KernelGraph", "NullKernelGraph", "REPLAY_PREFIX"]
 
@@ -60,7 +64,7 @@ class NullKernelGraph:
         self.stats = GraphStats()
 
     @contextmanager
-    def iteration(self):
+    def iteration(self) -> Iterator["NullGraph"]:
         yield self
 
 
@@ -99,7 +103,7 @@ class KernelGraph:
         return self._device or get_device()
 
     @contextmanager
-    def iteration(self):
+    def iteration(self) -> Iterator["KernelGraph"]:
         """Scope one algorithm iteration (capture or replay)."""
         dev = self._dev()
         if dev.active_graph is not None:
@@ -108,6 +112,9 @@ class KernelGraph:
             return
         self._capturing = self._signature is None
         self._pending = []
+        san = _gbsan.ACTIVE
+        if san is not None:
+            san.on_graph_enter(self)
         dev.active_graph = self
         try:
             yield self
@@ -119,7 +126,7 @@ class KernelGraph:
     # launch() integration (called from repro.gpu.kernel.launch)
     # ------------------------------------------------------------------
 
-    def on_launch(self, kernel, work: KernelWork, dev: Device) -> bool:
+    def on_launch(self, kernel: "Kernel", work: KernelWork, dev: Device) -> bool:
         """Route one launch through the graph.
 
         Returns True when the graph deferred the charge (replay mode); the
@@ -136,14 +143,19 @@ class KernelGraph:
     # ------------------------------------------------------------------
 
     def _commit(self, dev: Device) -> None:
+        san = _gbsan.ACTIVE
         pending, self._pending = self._pending, []
         if self._capturing:
             self._capturing = False
             if pending:
                 self._signature = tuple(name for name, _, _ in pending)
                 self.stats.captures += 1
+            if san is not None:
+                san.on_graph_commit(self, replayed=False)
             return
         if not pending:
+            if san is not None:
+                san.on_graph_commit(self, replayed=False)
             return  # nothing launched this iteration; nothing to charge
         names = tuple(name for name, _, _ in pending)
         overhead = dev.props.launch_overhead_us
@@ -171,6 +183,8 @@ class KernelGraph:
             self.stats.replays += 1
             self.stats.launches_elided += len(pending) - 1
             self.stats.overhead_saved_us += overhead * (len(pending) - 1)
+            if san is not None:
+                san.on_graph_commit(self, replayed=True)
             return
         # Sequence diverged: charge kernel by kernel and re-capture.
         for name, busy, work in pending:
@@ -190,3 +204,5 @@ class KernelGraph:
             )
         self._signature = names
         self.stats.captures += 1
+        if san is not None:
+            san.on_graph_commit(self, replayed=False)

@@ -7,19 +7,31 @@ that inspects the actual arguments and reports a
 launch configuration against the device limits, executes the semantics,
 charges the modeled time to the device clock, and records a profiler entry —
 the full life cycle of a ``kernel<<<grid, block>>>(...)`` call.
+
+Kernels additionally declare their **access sets** (``accesses``): a callable
+receiving the launch arguments verbatim and returning an
+:class:`~repro.sanitizer.access.Access` naming the containers the kernel
+reads and writes.  The declarations are free when the sanitizer is off and
+drive gbsan's race/residency/lifetime checkers when it is on (see
+:mod:`repro.sanitizer`).  Call sites whose operands travel through thunks or
+raw arrays pass ``san_reads``/``san_writes`` to :func:`launch` instead.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Tuple
 
 from ..exceptions import InvalidLaunchError
+from ..sanitizer import runtime as _gbsan
+from ..sanitizer.access import Access, is_tracked, label
 from .costmodel import KernelWork
 from .device import Device, get_device
 from .profiler import LaunchRecord
 
 __all__ = ["LaunchConfig", "Kernel", "launch", "charge_transfer"]
+
+_EMPTY_ACCESS = Access()
 
 
 @dataclass(frozen=True)
@@ -54,13 +66,15 @@ class LaunchConfig:
 class Kernel:
     """A named device kernel.
 
-    ``run`` computes the semantics; ``work`` estimates the hardware work
-    from the same arguments.  Both receive the launch args verbatim.
+    ``run`` computes the semantics; ``work`` estimates the hardware work;
+    ``accesses`` declares the read/write container sets for the sanitizer.
+    All three receive the launch args verbatim.
     """
 
     name: str
     run: Callable[..., Any]
     work: Callable[..., KernelWork]
+    accesses: Optional[Callable[..., Access]] = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Kernel({self.name})"
@@ -71,7 +85,9 @@ def launch(
     config: LaunchConfig,
     *args: Any,
     device: Optional[Device] = None,
-    stream=None,
+    stream: Any = None,
+    san_reads: Tuple[Any, ...] = (),
+    san_writes: Tuple[Any, ...] = (),
     **kwargs: Any,
 ) -> Any:
     """Execute a kernel on the simulated device and charge its time.
@@ -79,6 +95,10 @@ def launch(
     Returns whatever the kernel's semantic function returns.  When a stream
     is given the launch is enqueued on that stream's timeline; otherwise it
     runs on the device's default (serialising) timeline.
+
+    ``san_reads``/``san_writes`` extend the kernel's declared access sets at
+    the call site (for operands that reach the kernel as raw arrays or
+    thunks); they are ignored unless the sanitizer is enabled.
     """
     dev = device or get_device()
     config.validate(dev)
@@ -92,6 +112,19 @@ def launch(
             divergence=work.divergence,
             coalescing=work.coalescing,
         )
+    san = _gbsan.ACTIVE
+    read_labels: Tuple[str, ...] = ()
+    write_labels: Tuple[str, ...] = ()
+    if san is not None:
+        declared = (
+            kernel.accesses(*args, **kwargs)
+            if kernel.accesses is not None
+            else _EMPTY_ACCESS
+        )
+        access = declared.merged(tuple(san_reads), tuple(san_writes))
+        san.on_launch(kernel.name, access, dev, stream)
+        read_labels = tuple(label(o) for o in access.reads if is_tracked(o))
+        write_labels = tuple(label(o) for o in access.writes if is_tracked(o))
     graph = dev.active_graph
     if graph is not None and stream is None:
         # Inside a graph iteration: capture records the name and charges
@@ -115,13 +148,25 @@ def launch(
             flops=work.flops,
             bytes=work.bytes_total,
             threads=work.threads,
+            reads=read_labels,
+            writes=write_labels,
         )
     )
     return kernel.run(*args, **kwargs)
 
 
-def charge_transfer(nbytes: float, kind: str, device: Optional[Device] = None) -> float:
-    """Charge one H2D/D2H transfer to the device clock; returns duration."""
+def charge_transfer(
+    nbytes: float,
+    kind: str,
+    device: Optional[Device] = None,
+    container: Any = None,
+) -> float:
+    """Charge one H2D/D2H transfer to the device clock; returns duration.
+
+    ``container`` (when the transfer moves a tracked container rather than
+    loose bytes) feeds the sanitizer's happens-before and residency
+    checkers; it does not affect accounting.
+    """
     dev = device or get_device()
     dt = dev.cost_model.transfer_time_us(nbytes)
     start = dev.clock_us
@@ -129,4 +174,7 @@ def charge_transfer(nbytes: float, kind: str, device: Optional[Device] = None) -
     dev.profiler.record(
         LaunchRecord(name=f"memcpy_{kind}", kind=kind, start_us=start, duration_us=dt, bytes=nbytes)
     )
+    san = _gbsan.ACTIVE
+    if san is not None and container is not None:
+        san.on_transfer(container, kind, dev)
     return dt

@@ -21,11 +21,12 @@ would observe.  The pool only changes *accounting*; capacity semantics
 from __future__ import annotations
 
 import weakref
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
 from ..exceptions import DeviceOutOfMemoryError, InvalidValueError
+from ..sanitizer import runtime as _gbsan
 
 __all__ = ["DeviceBuffer", "DeviceAllocator", "MemoryStats"]
 
@@ -87,14 +88,31 @@ class MemoryStats:
 
 
 class DeviceBuffer:
-    """A device allocation holding a host-side mirror array."""
+    """A device allocation holding a host-side mirror array.
 
-    def __init__(self, allocator: "DeviceAllocator", nbytes: int, array: np.ndarray):
+    ``block`` is the sanitizer's identity for the underlying pool block
+    (``None`` whenever the sanitizer was off at allocation time); it travels
+    through free/reuse so gbsan can detect aliased reissues and leaks.
+    """
+
+    def __init__(
+        self,
+        allocator: "DeviceAllocator",
+        nbytes: int,
+        array: np.ndarray,
+        block: Optional[int] = None,
+    ):
         self._allocator = allocator
         self.nbytes = int(nbytes)
         self.array = array
+        self.block = block
         self._alive = True
-        self._finalizer = weakref.finalize(self, allocator._release, self.nbytes)
+        self._finalizer = weakref.finalize(
+            self, allocator._release, self.nbytes, block
+        )
+        san = _gbsan.ACTIVE
+        if san is not None:
+            san.on_buffer_created(allocator, self)
 
     def free(self) -> None:
         """Explicitly return the allocation to the pool (idempotent)."""
@@ -134,12 +152,14 @@ class DeviceAllocator:
         """Total blocks currently parked in the size-class free-lists."""
         return sum(self._pool.values())
 
-    def _reserve(self, nbytes: int) -> None:
+    def _reserve(self, nbytes: int) -> Optional[int]:
+        """Account one allocation; returns the sanitizer's block identity."""
         if nbytes > self.free_bytes:
             raise DeviceOutOfMemoryError(nbytes, self.free_bytes)
         self.in_use += nbytes
         cls = _size_class(nbytes)
-        if self._pool.get(cls, 0) > 0:
+        pooled = self._pool.get(cls, 0) > 0
+        if pooled:
             # Pool hit: no cudaMalloc; the request reuses a freed block.
             self._pool[cls] -= 1
             self.stats.pool_hit_count += 1
@@ -147,19 +167,27 @@ class DeviceAllocator:
         else:
             self.stats.alloc_count += 1
             self.stats.bytes_allocated_total += nbytes
+        san = _gbsan.ACTIVE
+        if san is not None:
+            return san.on_reserve(self, cls, pooled)
+        return None
 
-    def _release(self, nbytes: int) -> None:
+    def _release(self, nbytes: int, block: Optional[int] = None) -> None:
         self.in_use = max(0, self.in_use - nbytes)
         self.stats.free_count += 1
         cls = _size_class(nbytes)
-        if self._pool.get(cls, 0) < _POOL_BLOCKS_PER_CLASS:
+        pooled = self._pool.get(cls, 0) < _POOL_BLOCKS_PER_CLASS
+        if pooled:
             self._pool[cls] = self._pool.get(cls, 0) + 1
+        san = _gbsan.ACTIVE
+        if san is not None:
+            san.on_release(self, cls, block, pooled)
 
-    def alloc(self, shape, dtype) -> DeviceBuffer:
+    def alloc(self, shape: Any, dtype: Any) -> DeviceBuffer:
         """``cudaMalloc`` analogue: uninitialised device array."""
         arr = np.empty(shape, dtype=dtype)
-        self._reserve(arr.nbytes)
-        return DeviceBuffer(self, arr.nbytes, arr)
+        block = self._reserve(arr.nbytes)
+        return DeviceBuffer(self, arr.nbytes, arr, block)
 
     def reserve(self, nbytes: int, record_h2d: bool = False) -> DeviceBuffer:
         """Capacity-only allocation (no host mirror array).
@@ -170,21 +198,21 @@ class DeviceAllocator:
         count as upload traffic.
         """
         nbytes = int(nbytes)
-        self._reserve(nbytes)
+        block = self._reserve(nbytes)
         if record_h2d:
             self.stats.h2d_count += 1
             self.stats.h2d_bytes += nbytes
-        return DeviceBuffer(self, nbytes, np.empty(0, dtype=np.uint8))
+        return DeviceBuffer(self, nbytes, np.empty(0, dtype=np.uint8), block)
 
     def upload(self, host_array: np.ndarray) -> DeviceBuffer:
         """``cudaMemcpy`` H2D into a fresh allocation; records traffic."""
         arr = np.ascontiguousarray(host_array)
-        self._reserve(arr.nbytes)
+        block = self._reserve(arr.nbytes)
         self.stats.h2d_count += 1
         self.stats.h2d_bytes += arr.nbytes
         # The simulation shares the host array (read-only by convention);
         # copying here would double host memory for zero fidelity gain.
-        return DeviceBuffer(self, arr.nbytes, arr)
+        return DeviceBuffer(self, arr.nbytes, arr, block)
 
     def record_h2d_elided(self, nbytes: int) -> None:
         """Count one upload skipped because the target was clean-resident."""

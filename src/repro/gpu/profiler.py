@@ -20,6 +20,11 @@ class LaunchRecord:
     An aggregated ``graph_replay[...]`` record carries its member kernels in
     ``members`` as ``(name, busy_us, flops, bytes)`` tuples so per-kernel
     attribution survives replay aggregation (see :meth:`Profiler.by_kernel`).
+
+    ``reads``/``writes`` hold the launch's declared access sets as buffer
+    labels.  They are populated only while the sanitizer is enabled (access
+    resolution is skipped otherwise) and exist for diagnostics — a gbsan
+    report can be correlated with the launch record that triggered it.
     """
 
     name: str
@@ -30,6 +35,8 @@ class LaunchRecord:
     bytes: float = 0.0
     threads: int = 0
     members: Tuple[Tuple[str, float, float, float], ...] = field(default=())
+    reads: Tuple[str, ...] = field(default=())
+    writes: Tuple[str, ...] = field(default=())
 
     @property
     def end_us(self) -> float:
@@ -93,7 +100,9 @@ class Profiler:
         """
         out: Dict[str, Dict[str, float]] = {}
 
-        def bump(name, count, time_us, flops, nbytes):
+        def bump(
+            name: str, count: float, time_us: float, flops: float, nbytes: float
+        ) -> None:
             agg = out.setdefault(
                 name, {"count": 0, "time_us": 0.0, "flops": 0.0, "bytes": 0.0}
             )

@@ -11,6 +11,11 @@ The device is supplied as a zero-argument callable rather than an object so
 the single-GPU backend keeps its historical ``reset_device()`` semantics
 (the global device can be swapped out underneath it); per-shard devices in
 a cluster bind a fixed device instead.
+
+Every state transition notifies the sanitizer (when enabled) so gbsan's
+shadow resident set stays exact: marks, evictions, and re-uploads are
+the ground truth its residency and lifetime checkers compare kernel
+accesses against.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Callable, Optional
 
+from ..sanitizer import runtime as _gbsan
 from .device import Device, get_device
 from .kernel import charge_transfer
 
@@ -49,15 +55,15 @@ class ResidentSet:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def __contains__(self, container) -> bool:
+    def __contains__(self, container: Any) -> bool:
         return id(container) in self._entries
 
-    def is_clean(self, container) -> bool:
+    def is_clean(self, container: Any) -> bool:
         """True when the device copy exists and matches the host version."""
         entry = self._entries.get(id(container))
         return entry is not None and entry[2] == getattr(container, "version", 0)
 
-    def ensure(self, container) -> None:
+    def ensure(self, container: Any) -> None:
         """Charge an H2D upload unless the container is clean on-device."""
         from . import reuse
 
@@ -65,38 +71,57 @@ class ResidentSet:
         entry = self._entries.get(key)
         version = getattr(container, "version", 0)
         dev = self._device_fn()
+        san = _gbsan.ACTIVE
         if entry is not None:
             if entry[2] == version:
                 self._entries.move_to_end(key)
                 if reuse.elision_enabled():
                     dev.allocator.record_h2d_elided(container.nbytes)
+                if san is not None:
+                    # Self-heal a sanitizer enabled mid-session: the shadow
+                    # learns about clean entries it never saw marked.
+                    san.on_resident_mark(dev, container, entry[1])
                 return
             # Host copy mutated since upload: the device copy is stale.
             # Free the old block (it lands in the pool) and re-upload.
             entry[1].free()
             del self._entries[key]
-        charge_transfer(container.nbytes, "h2d", device=dev)
+            if san is not None:
+                san.on_resident_evict(dev, container)
+        charge_transfer(container.nbytes, "h2d", device=dev, container=container)
         self.mark(container, record_h2d=True)
 
-    def mark(self, container, record_h2d: bool = False) -> None:
+    def mark(self, container: Any, record_h2d: bool = False) -> None:
         """Record the container as device-resident (clean) without a copy."""
         key = id(container)
         version = getattr(container, "version", 0)
         entry = self._entries.get(key)
+        dev = self._device_fn()
+        san = _gbsan.ACTIVE
         if entry is not None:
             # Refresh the stamp: device-produced data is clean by definition.
             self._entries[key] = (container, entry[1], version)
             self._entries.move_to_end(key)
+            if san is not None:
+                san.on_resident_mark(dev, container, entry[1])
             return
-        buf = self._device_fn().allocator.reserve(container.nbytes, record_h2d=record_h2d)
+        buf = dev.allocator.reserve(container.nbytes, record_h2d=record_h2d)
         self._entries[key] = (container, buf, version)
         self._entries.move_to_end(key)
+        if san is not None:
+            san.on_resident_mark(dev, container, buf)
         while len(self._entries) > self._cap:
-            _, (_, old_buf, _) = self._entries.popitem(last=False)
+            _, (old_container, old_buf, _) = self._entries.popitem(last=False)
             old_buf.free()
+            if san is not None:
+                san.on_resident_evict(dev, old_container)
 
     def evict_all(self) -> None:
         """Forget residency (e.g. between benchmark repetitions)."""
-        for _, buf, _ in self._entries.values():
+        san = _gbsan.ACTIVE
+        dev = self._device_fn() if san is not None else None
+        for container, buf, _ in self._entries.values():
             buf.free()
+            if san is not None and dev is not None:
+                san.on_resident_evict(dev, container)
         self._entries.clear()

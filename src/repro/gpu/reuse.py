@@ -17,6 +17,7 @@ against its own baseline within one process.
 from __future__ import annotations
 
 from contextlib import contextmanager
+from typing import Iterator, Optional
 
 __all__ = [
     "aux_cache_enabled",
@@ -51,7 +52,11 @@ def graphs_enabled() -> bool:
     return _FLAGS.graphs
 
 
-def configure(aux_cache=None, elision=None, graphs=None) -> None:
+def configure(
+    aux_cache: Optional[bool] = None,
+    elision: Optional[bool] = None,
+    graphs: Optional[bool] = None,
+) -> None:
     """Set individual reuse switches (None leaves a switch untouched)."""
     if aux_cache is not None:
         _FLAGS.aux_cache = bool(aux_cache)
@@ -62,7 +67,7 @@ def configure(aux_cache=None, elision=None, graphs=None) -> None:
 
 
 @contextmanager
-def reuse_disabled():
+def reuse_disabled() -> Iterator[None]:
     """Run with every reuse mechanism off (the pre-reuse baseline)."""
     prev = (_FLAGS.aux_cache, _FLAGS.elision, _FLAGS.graphs)
     _FLAGS.aux_cache = _FLAGS.elision = _FLAGS.graphs = False

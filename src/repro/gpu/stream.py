@@ -5,12 +5,18 @@ overlaps (the device clock tracks the furthest timeline).  Events capture a
 stream's current time and let another stream wait on it — enough to model
 the copy/compute overlap and inter-kernel dependencies that a CUDA backend
 orchestrates.
+
+Stream creation, event record/wait, and synchronize are also the
+happens-before edges the sanitizer reasons from (see
+:mod:`repro.sanitizer.hb`); each notifies the active sanitizer, and the
+hooks are no-ops when it is disabled.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from ..sanitizer import runtime as _gbsan
 from .device import Device, get_device
 
 __all__ = ["Stream", "Event"]
@@ -19,7 +25,7 @@ __all__ = ["Stream", "Event"]
 class Event:
     """A recorded point on a stream's timeline."""
 
-    __slots__ = ("time_us",)
+    __slots__ = ("time_us", "__weakref__")
 
     def __init__(self) -> None:
         self.time_us: Optional[float] = None
@@ -39,6 +45,9 @@ class Stream:
         self.device = device or get_device()
         # A new stream becomes usable "now".
         self.timeline_us = self.device.clock_us
+        san = _gbsan.ACTIVE
+        if san is not None:
+            san.on_stream_created(self)
 
     def enqueue(self, duration_us: float) -> float:
         """Append ``duration_us`` of work; returns its start time."""
@@ -53,16 +62,26 @@ class Stream:
         """``cudaEventRecord``: capture the stream's current time."""
         ev = event or Event()
         ev.time_us = self.timeline_us
+        san = _gbsan.ACTIVE
+        if san is not None:
+            san.on_event_record(self, ev)
         return ev
 
     def wait_event(self, event: Event) -> None:
         """``cudaStreamWaitEvent``: stall this stream until the event."""
         if not event.recorded:
             raise ValueError("waiting on an unrecorded event")
+        assert event.time_us is not None
         self.timeline_us = max(self.timeline_us, event.time_us)
+        san = _gbsan.ACTIVE
+        if san is not None:
+            san.on_event_wait(self, event)
 
     def synchronize(self) -> float:
         """Block the host until this stream drains; returns its time."""
+        san = _gbsan.ACTIVE
+        if san is not None:
+            san.on_stream_sync(self)
         return self.timeline_us
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

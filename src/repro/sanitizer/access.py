@@ -1,0 +1,61 @@
+"""Access annotations for device kernels.
+
+Every kernel launch on the simulated GPU declares which buffers it reads
+and which it writes (the compute-sanitizer contract: a kernel's pointer
+arguments are annotated ``const`` or not).  Declarations are callables on
+:class:`~repro.gpu.kernel.Kernel` receiving the launch arguments verbatim
+and returning an :class:`Access`; launch-site overrides cover kernels whose
+operands travel through thunks (gather/select accounting kernels).
+
+Only *container-like* objects participate in sanitizer tracking: anything
+carrying ``version``/``nbytes``/``type`` attributes (``CSRMatrix``,
+``CSCMatrix``, ``SparseVector``).  Raw ndarray or scalar operands are
+ignored — they are views into a tracked container or launch-setup values,
+and the container itself is the unit a real allocator would track.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+__all__ = ["Access", "is_tracked", "label"]
+
+
+@dataclass(frozen=True)
+class Access:
+    """Declared read/write buffer sets of one kernel launch."""
+
+    reads: Tuple[Any, ...] = ()
+    writes: Tuple[Any, ...] = ()
+
+    def merged(self, reads: Tuple[Any, ...], writes: Tuple[Any, ...]) -> "Access":
+        """This access plus launch-site extras (deduplicated by identity)."""
+        if not reads and not writes:
+            return self
+        r = list(self.reads)
+        r.extend(x for x in reads if not any(x is y for y in r))
+        w = list(self.writes)
+        w.extend(x for x in writes if not any(x is y for y in w))
+        return Access(tuple(r), tuple(w))
+
+
+def is_tracked(obj: Any) -> bool:
+    """True for container-like objects the sanitizer tracks."""
+    return (
+        obj is not None
+        and hasattr(obj, "version")
+        and hasattr(obj, "nbytes")
+        and hasattr(obj, "type")
+    )
+
+
+def label(obj: Any) -> str:
+    """Stable human-readable tag for a tracked buffer in diagnostics."""
+    try:
+        return (
+            f"{type(obj).__name__}@{id(obj):#x}"
+            f"(v{getattr(obj, 'version', '?')}, {getattr(obj, 'nbytes', '?')}B)"
+        )
+    except Exception:  # pragma: no cover - defensive
+        return f"{type(obj).__name__}@{id(obj):#x}"

@@ -1,0 +1,269 @@
+"""gbsan static lint: kernel contracts enforced at the AST.
+
+The dynamic sanitizer (:mod:`repro.sanitizer.runtime`) checks what actually
+ran; this module checks what *could* run.  Four rules keep the simulated
+device code honest:
+
+``kernel-decl``
+    Every :class:`~repro.gpu.kernel.Kernel` instantiated under
+    ``repro/backends/`` must declare its access sets (the ``accesses=``
+    argument, or a fourth positional) — otherwise the dynamic checkers are
+    blind to its launches.
+
+``container-mutation``
+    No direct stores into container payload arrays (``.values``,
+    ``.indices``, ``.indptr``, ``.data``) in backends, algorithms, or core.
+    Payload mutation outside a declared kernel bypasses the version counter
+    (dirty bit) and therefore residency tracking.
+
+``argsort``
+    No ``argsort`` calls on hot paths (backends, algorithms): the sort-free
+    kernels replaced comparison sorts with counting sort/segment tricks,
+    and an ``argsort`` that sneaks back in silently reverts that.
+
+``uncharged-numpy``
+    The device orchestrators (``backends/cuda_sim/backend.py``,
+    ``backends/multi_sim/backend.py``) may not call heavy NumPy routines
+    outside kernel semantics — host work there is real compute the cost
+    model never charges.
+
+A finding is suppressed by a directive on the same line or the line above::
+
+    order = np.argsort(keys, kind="stable")  # gbsan: ok(argsort) -- reason
+
+The reason is mandatory; a bare ``ok(...)`` does not suppress.  Run from the
+command line via ``tools/lint_kernels.py`` or ``python -m
+repro.sanitizer.lint``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+__all__ = ["LintFinding", "lint_source", "lint_file", "lint_tree", "main"]
+
+#: Container payload attributes no non-kernel code may store through.
+_PAYLOAD_ATTRS = frozenset({"values", "indices", "indptr", "data"})
+
+#: NumPy routines that are real compute when they appear in an orchestrator.
+_HEAVY_NUMPY = frozenset(
+    {
+        "sort",
+        "argsort",
+        "lexsort",
+        "searchsorted",
+        "unique",
+        "bincount",
+        "cumsum",
+        "einsum",
+        "dot",
+        "matmul",
+        "tensordot",
+    }
+)
+
+#: Files whose module-level code *is* the device orchestrator.
+_ORCHESTRATORS = (
+    "backends/cuda_sim/backend.py",
+    "backends/multi_sim/backend.py",
+)
+
+_DIRECTIVE = re.compile(r"#\s*gbsan:\s*ok\(([a-z, -]+)\)\s*--\s*\S")
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One static-lint violation."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> rules suppressed on that line.
+
+    A directive covers its own line and the line below it, so it can sit
+    either trailing the flagged statement or on its own line above.
+    """
+    out: Dict[int, Set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        m = _DIRECTIVE.search(text)
+        if m is None:
+            continue
+        rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+        out.setdefault(lineno, set()).update(rules)
+        out.setdefault(lineno + 1, set()).update(rules)
+    return out
+
+
+def _rules_for(relpath: str) -> Set[str]:
+    """The rule set applying to one repo-relative ``repro/``-rooted path."""
+    rules: Set[str] = set()
+    if relpath.startswith("backends/"):
+        rules |= {"kernel-decl", "container-mutation", "argsort"}
+    if relpath.startswith("algorithms/"):
+        rules |= {"container-mutation", "argsort"}
+    if relpath.startswith("core/"):
+        rules |= {"container-mutation"}
+    if relpath in _ORCHESTRATORS:
+        rules |= {"uncharged-numpy"}
+    return rules
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, relpath: str, rules: Set[str]) -> None:
+        self.relpath = relpath
+        self.rules = rules
+        self.raw: List[LintFinding] = []
+
+    def _flag(self, node: ast.AST, rule: str, message: str) -> None:
+        if rule in self.rules:
+            self.raw.append(
+                LintFinding(self.relpath, getattr(node, "lineno", 0), rule, message)
+            )
+
+    # -- kernel-decl ----------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = self._call_name(node)
+        if name == "Kernel":
+            has_accesses = len(node.args) >= 4 or any(
+                kw.arg == "accesses" for kw in node.keywords
+            )
+            if not has_accesses:
+                self._flag(
+                    node,
+                    "kernel-decl",
+                    "Kernel(...) without an accesses= declaration; the "
+                    "sanitizer cannot check launches of an undeclared kernel",
+                )
+        if name == "argsort" or self._is_np_call(node, {"argsort"}):
+            self._flag(
+                node,
+                "argsort",
+                "argsort on a hot path; use counting sort / segment "
+                "reduction (see backends/cpu sort-free kernels)",
+            )
+        elif self._is_np_call(node, _HEAVY_NUMPY) or (
+            "uncharged-numpy" in self.rules
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _HEAVY_NUMPY
+            and not isinstance(node.func.value, ast.Name)
+        ):
+            self._flag(
+                node,
+                "uncharged-numpy",
+                f"heavy NumPy call ({self._call_name(node)}) in a device "
+                "orchestrator; host work here is compute the cost model "
+                "never charges — move it into a kernel semantic or charge it",
+            )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _call_name(node: ast.Call) -> str:
+        f = node.func
+        if isinstance(f, ast.Name):
+            return f.id
+        if isinstance(f, ast.Attribute):
+            return f.attr
+        return ""
+
+    @staticmethod
+    def _is_np_call(node: ast.Call, names: Iterable[str]) -> bool:
+        f = node.func
+        return (
+            isinstance(f, ast.Attribute)
+            and isinstance(f.value, ast.Name)
+            and f.value.id in ("np", "numpy")
+            and f.attr in names
+        )
+
+    # -- container-mutation ---------------------------------------------
+
+    def _check_store_target(self, target: ast.expr) -> None:
+        # X.values = ..., X.values[k] = ..., X.values[a:b] = ...
+        attr: ast.expr = target
+        if isinstance(attr, ast.Subscript):
+            attr = attr.value
+        if isinstance(attr, ast.Attribute) and attr.attr in _PAYLOAD_ATTRS:
+            self._flag(
+                target,
+                "container-mutation",
+                f"direct store into container payload .{attr.attr} outside "
+                "a declared kernel; this bypasses the version counter "
+                "(dirty bit) and residency tracking",
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for t in node.targets:
+            for el in ast.walk(t) if isinstance(t, (ast.Tuple, ast.List)) else (t,):
+                if isinstance(el, (ast.Attribute, ast.Subscript)):
+                    self._check_store_target(el)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_store_target(node.target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_store_target(node.target)
+        self.generic_visit(node)
+
+
+def lint_source(source: str, relpath: str) -> List[LintFinding]:
+    """Lint one module's source; ``relpath`` is rooted at ``repro/``."""
+    rules = _rules_for(relpath)
+    if not rules:
+        return []
+    tree = ast.parse(source, filename=relpath)
+    visitor = _Visitor(relpath, rules)
+    visitor.visit(tree)
+    if not visitor.raw:
+        return []
+    ok = _suppressions(source)
+    return [f for f in visitor.raw if f.rule not in ok.get(f.line, ())]
+
+
+def lint_file(path: Path, package_root: Path) -> List[LintFinding]:
+    rel = path.relative_to(package_root).as_posix()
+    return lint_source(path.read_text(encoding="utf-8"), rel)
+
+
+def lint_tree(package_root: Path) -> List[LintFinding]:
+    """Lint every module under ``package_root`` (the ``repro/`` directory)."""
+    findings: List[LintFinding] = []
+    for path in sorted(package_root.rglob("*.py")):
+        findings.extend(lint_file(path, package_root))
+    return findings
+
+
+def _default_root() -> Path:
+    return Path(__file__).resolve().parent.parent
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    root = Path(args[0]).resolve() if args else _default_root()
+    findings = lint_tree(root)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"gbsan-lint: {len(findings)} violation(s)")
+        return 1
+    print("gbsan-lint: clean")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    raise SystemExit(main())

@@ -70,13 +70,28 @@ def run_fuzz(
     max_failures: int = 5,
     shrink_probes: int = 400,
     verbose: bool = False,
+    sanitize: bool = False,
 ) -> int:
-    """Fuzz ``programs`` seeds starting at ``seed``; returns failure count."""
+    """Fuzz ``programs`` seeds starting at ``seed``; returns failure count.
+
+    With ``sanitize=True`` every program also runs under gbsan
+    (:mod:`repro.sanitizer`): any race/residency/lifetime/replay finding
+    counts as a failure even when the numeric results agree — the fuzzer
+    doubles as a sanitizer false-positive hunt and as a net for bugs whose
+    symptom is mis-accounting rather than wrong output.
+    """
+    san = None
+    if sanitize:
+        from .. import sanitizer as _sz
+
+        san = _sz.enable()
     failures = 0
     t0 = time.monotonic()
     for i in range(programs):
         s = seed + i
         program = generate_program(s)
+        if san is not None:
+            san.reset()  # fresh HB graph / shadows per program
         divergence = run_differential(program, specs)
         if divergence is not None:
             failures += 1
@@ -86,6 +101,11 @@ def run_fuzz(
                 _shrink_and_report(program, divergence, specs, repro_dir, shrink_probes)
         elif verbose:
             print(f"[ok] seed {s}: {program.describe()}")
+        if san is not None and san.findings:
+            failures += 1
+            print(f"[FAIL] sanitizer, seed {s}: {program.describe()}")
+            print("  " + san.report().replace("\n", "\n  "))
+            san.drain()
 
         if invalid_every and i % invalid_every == 0:
             bad = generate_invalid_program(s)
@@ -163,6 +183,9 @@ def main(argv=None) -> int:
     ap.add_argument("--replay", type=Path, default=None, metavar="FILE",
                     help="replay one saved program (.json, or a generated "
                          "tests/regressions/*.py repro) instead of fuzzing")
+    ap.add_argument("--sanitize", action="store_true",
+                    help="run every program under gbsan (repro.sanitizer); "
+                         "any finding counts as a failure")
     ap.add_argument("-v", "--verbose", action="store_true")
     args = ap.parse_args(argv)
 
@@ -193,6 +216,7 @@ def main(argv=None) -> int:
         max_failures=args.max_failures,
         shrink_probes=args.shrink_probes,
         verbose=args.verbose,
+        sanitize=args.sanitize,
     )
 
 

@@ -6,8 +6,31 @@ import numpy as np
 import pytest
 
 import repro as gb
+from repro import sanitizer as _sanitizer
 
 BACKENDS = ["reference", "cpu", "cuda_sim", "multi_sim"]
+
+
+@pytest.fixture(autouse=True)
+def _gbsan_clean():
+    """When the suite runs under ``GBSAN=1``, fail any test that trips gbsan.
+
+    The whole tier-1 suite doubles as the sanitizer's zero-false-positive
+    corpus: a finding inside a test that passes functionally is either a real
+    residency/ordering bug in the stack or a sanitizer bug — both block.
+    Tests that *plant* hazards on purpose drain the findings themselves
+    before returning (see tests/test_sanitizer.py).
+    """
+    san = _sanitizer.active()
+    if san is None:
+        yield
+        return
+    san.drain()
+    yield
+    leftovers = san.drain()
+    assert not leftovers, "gbsan findings:\n" + "\n".join(
+        f"  {f}" for f in leftovers
+    )
 
 
 @pytest.fixture(params=BACKENDS)

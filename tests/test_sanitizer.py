@@ -1,0 +1,372 @@
+"""gbsan: planted hazards must be caught; clean workloads must stay clean.
+
+Each planted-hazard test constructs the minimal buggy interaction pattern
+directly against the gpu layer (streams, residency, allocator, graphs) and
+asserts both that the sanitizer reports the expected hazard class and that
+the diagnostic message carries enough context to act on.  The zero-FP tests
+run real algorithm workloads on every simulated backend and assert gbsan
+stays silent (the full tier-1 suite enforces the same through the autouse
+fixture in conftest.py whenever ``GBSAN=1``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro as gb
+from repro import sanitizer as sz
+from repro.backends.dispatch import get_backend, use_backend
+from repro.exceptions import SanitizerError
+from repro.gpu.costmodel import KernelWork
+from repro.gpu.device import Device
+from repro.gpu.graph import KernelGraph
+from repro.gpu.kernel import Kernel, LaunchConfig, launch
+from repro.gpu.residency import ResidentSet
+from repro.gpu.stream import Stream
+from repro.gpu import reuse
+from repro.sanitizer import runtime as _runtime
+from repro.sanitizer.access import Access
+from repro.sanitizer.lint import lint_source
+
+pytestmark = pytest.mark.no_multi_sim
+
+
+NOP = Kernel(
+    "nop_test_kernel",
+    lambda *a, **k: None,
+    lambda *a, **k: KernelWork(flops=8.0, bytes_read=64.0, bytes_written=64.0),
+)
+CFG = LaunchConfig(1, 32)
+
+
+def _vec(n=8, seed=0):
+    rng = np.random.default_rng(seed)
+    v = gb.Vector.from_lists(
+        list(range(n)), [float(x) for x in rng.uniform(1, 9, n)], n, gb.FP64
+    )
+    return v.container
+
+
+@pytest.fixture
+def dev():
+    return Device()
+
+
+@pytest.fixture
+def san():
+    with sz.sanitized() as s:
+        yield s
+
+
+def kinds(s):
+    return [f.kind for f in s.findings]
+
+
+# ---------------------------------------------------------------------------
+# Hazard 1: unordered cross-stream writes (race)
+# ---------------------------------------------------------------------------
+
+
+class TestRaceDetector:
+    def test_unordered_cross_stream_writes_race(self, dev, san):
+        c = _vec()
+        s1, s2 = Stream(dev), Stream(dev)
+        launch(NOP, CFG, device=dev, stream=s1, san_writes=(c,))
+        launch(NOP, CFG, device=dev, stream=s2, san_writes=(c,))
+        assert "race" in kinds(san)
+        f = next(f for f in san.findings if f.kind == "race")
+        # The report must name both racing sites and the buffer.
+        assert "nop_test_kernel" in f.message or f.site == "nop_test_kernel"
+        assert "unordered" in f.message
+        assert "SparseVector" in f.buffer
+        san.drain()
+
+    def test_event_edge_orders_the_streams(self, dev, san):
+        c = _vec()
+        s1, s2 = Stream(dev), Stream(dev)
+        launch(NOP, CFG, device=dev, stream=s1, san_writes=(c,))
+        ev = s1.record_event()
+        s2.wait_event(ev)
+        launch(NOP, CFG, device=dev, stream=s2, san_writes=(c,))
+        assert san.findings == []
+
+    def test_write_after_unsynced_stream_read_races(self, dev, san):
+        c = _vec()
+        s1 = Stream(dev)
+        launch(NOP, CFG, device=dev, stream=s1, san_reads=(c,))
+        s2 = Stream(dev)
+        launch(NOP, CFG, device=dev, stream=s2, san_writes=(c,))
+        assert "race" in kinds(san)
+        san.drain()
+
+    def test_stream_synchronize_orders_against_host(self, dev, san):
+        c = _vec()
+        s1 = Stream(dev)
+        launch(NOP, CFG, device=dev, stream=s1, san_writes=(c,))
+        s1.synchronize()
+        # Default-queue ops join every stream of the device: ordered.
+        launch(NOP, CFG, device=dev, san_writes=(c,))
+        assert san.findings == []
+
+
+# ---------------------------------------------------------------------------
+# Hazard 2: elided transfer (stale-read) and residency bookkeeping
+# ---------------------------------------------------------------------------
+
+
+class TestResidencySanitizer:
+    def test_stale_read_after_host_mutation(self, dev, san):
+        c = _vec()
+        rs = ResidentSet(lambda: dev)
+        rs.ensure(c)  # uploaded, clean
+        c.bump_version()  # host mutates in place; device copy now stale
+        launch(NOP, CFG, device=dev, san_reads=(c,))  # ensure() forgotten
+        assert kinds(san) == ["stale-read"]
+        f = san.findings[0]
+        assert "elided" in f.message and "v" in f.buffer
+        san.drain()
+
+    def test_unresident_read_reported(self, dev, san):
+        c = _vec()
+        launch(NOP, CFG, device=dev, san_reads=(c,))
+        assert kinds(san) == ["unresident-read"]
+        assert "never uploaded" in san.findings[0].message
+        san.drain()
+
+    def test_missing_note_result_on_redundant_upload(self, dev, san):
+        c = _vec()
+        rs = ResidentSet(lambda: dev)
+        rs.ensure(c)
+        # Kernel produces c on-device, but the backend forgets note_result…
+        launch(NOP, CFG, device=dev, san_writes=(c,))
+        # …so when the frontend stamps the output, the host copy "looks
+        # newer" and the next use re-uploads data the device already has.
+        c.bump_version()
+        rs.ensure(c)
+        assert "missing-note-result" in kinds(san)
+        f = next(f for f in san.findings if f.kind == "missing-note-result")
+        assert "note_result" in f.message and "nop_test_kernel" in f.message
+        san.drain()
+
+    def test_note_result_quiets_the_report(self, dev, san):
+        c = _vec()
+        rs = ResidentSet(lambda: dev)
+        rs.ensure(c)
+        launch(NOP, CFG, device=dev, san_writes=(c,))
+        rs.mark(c)  # note_result done right: device copy declared clean
+        launch(NOP, CFG, device=dev, san_reads=(c,))
+        assert san.findings == []
+
+
+# ---------------------------------------------------------------------------
+# Hazard 3: pool lifetime (use-after-free, alias, leak)
+# ---------------------------------------------------------------------------
+
+
+class TestPoolLifetime:
+    def test_use_after_free_read(self, dev, san):
+        c = _vec()
+        rs = ResidentSet(lambda: dev)
+        rs.ensure(c)
+        # Free the device buffer behind the resident set's back.
+        for cont, buf, _ in list(rs._entries.values()):
+            buf.free()
+        launch(NOP, CFG, device=dev, san_reads=(c,))
+        assert "use-after-free" in kinds(san)
+        assert "freed" in san.findings[0].message
+        san.drain()
+
+    def test_pool_alias_on_reissued_block(self, dev, san):
+        c = _vec()
+        rs = ResidentSet(lambda: dev)
+        rs.ensure(c)
+        entry = next(iter(rs._entries.values()))
+        entry[1].free()  # block returns to the pool; rs still maps c onto it
+        # Same-size allocation reissues the pooled block.
+        dev.allocator.reserve(c.nbytes)
+        assert "pool-alias" in kinds(san)
+        assert "reissued" in san.findings[0].message
+        san.drain()
+
+    def test_leak_reported_at_device_reset(self, dev, san):
+        buf = dev.allocator.reserve(4096)
+        assert buf.alive
+        dev.reset()
+        assert "leak" in kinds(san)
+        assert "no resident set references it" in san.findings[0].message
+        san.drain()
+
+    def test_resident_buffers_do_not_leak(self, dev, san):
+        c = _vec()
+        rs = ResidentSet(lambda: dev)
+        rs.ensure(c)
+        san.check_leaks(dev.allocator)
+        assert san.findings == []
+
+
+# ---------------------------------------------------------------------------
+# Hazard 4: stale kernel-graph replay
+# ---------------------------------------------------------------------------
+
+
+class TestGraphReplayChecker:
+    def test_replay_after_reupload_is_stale(self, dev, san):
+        c = _vec()
+        rs = ResidentSet(lambda: dev)
+        rs.ensure(c)
+        g = KernelGraph("iter", device=dev)
+        with g.iteration():
+            launch(NOP, CFG, device=dev, san_reads=(c,))  # capture
+        c.bump_version()
+        rs.ensure(c)  # host mutated: re-upload lands in a NEW device buffer
+        with g.iteration():
+            launch(NOP, CFG, device=dev, san_reads=(c,))  # replayed
+        assert "stale-replay" in kinds(san)
+        f = next(f for f in san.findings if f.kind == "stale-replay")
+        assert "re-instantiate" in f.message and "iter" in f.site
+        san.drain()
+
+    def test_stable_buffers_replay_clean(self, dev, san):
+        c = _vec()
+        rs = ResidentSet(lambda: dev)
+        rs.ensure(c)
+        g = KernelGraph("iter", device=dev)
+        for _ in range(3):
+            with g.iteration():
+                launch(NOP, CFG, device=dev, san_reads=(c,))
+        assert san.findings == []
+        assert g.stats.replays >= 1
+
+
+# ---------------------------------------------------------------------------
+# Modes: strict raising, enable/disable, reporting
+# ---------------------------------------------------------------------------
+
+
+class TestModes:
+    def test_strict_mode_raises(self, dev):
+        c = _vec()
+        with pytest.raises(SanitizerError) as ei:
+            with sz.sanitized(strict=True):
+                launch(NOP, CFG, device=dev, san_reads=(c,))
+        assert ei.value.finding.kind == "unresident-read"
+        # Under GBSAN=1 the scope reused the ambient sanitizer, which still
+        # holds the planted finding; drain it so the suite stays zero-FP.
+        ambient = sz.active()
+        if ambient is not None:
+            ambient.drain()
+
+    def test_disabled_records_nothing(self, dev):
+        prior = sz.disable()  # force-disable even under an ambient GBSAN=1
+        try:
+            assert sz.active() is None
+            c = _vec()
+            launch(NOP, CFG, device=dev, san_reads=(c,))  # hook is a no-op
+            assert sz.findings() == []
+        finally:
+            _runtime.ACTIVE = prior
+
+    def test_report_and_str_formats(self, dev, san):
+        c = _vec()
+        launch(NOP, CFG, device=dev, san_reads=(c,))
+        text = san.report()
+        assert "gbsan" in text and "unresident-read" in text
+        assert str(san.findings[0]).startswith("gbsan[unresident-read]")
+        san.drain()
+        assert san.report() == "gbsan: no findings"
+
+    def test_findings_dedup(self, dev, san):
+        c = _vec()
+        for _ in range(5):
+            launch(NOP, CFG, device=dev, san_reads=(c,))
+        assert len(san.findings) == 1
+        san.drain()
+
+
+# ---------------------------------------------------------------------------
+# Zero false positives on real workloads, every simulated backend
+# ---------------------------------------------------------------------------
+
+
+def _workload():
+    from repro.algorithms.bfs import bfs_levels
+    from repro.algorithms.pagerank import pagerank
+    from repro.generators.rmat import rmat
+
+    a = rmat(7, 8, seed=3)
+    bfs_levels(a, 0)
+    pagerank(a, max_iter=12)
+
+
+class TestZeroFalsePositives:
+    def test_cuda_sim_clean(self):
+        with use_backend("cuda_sim"):
+            with sz.sanitized() as san:
+                _workload()
+                assert san.findings == [], san.report()
+
+    @pytest.mark.parametrize("nparts", [1, 2, 4])
+    def test_multi_sim_clean(self, nparts):
+        be = get_backend("multi_sim").configure(nparts=nparts)
+        with use_backend("multi_sim"):
+            with sz.sanitized() as san:
+                _workload()
+                assert san.findings == [], san.report()
+
+    def test_cuda_sim_clean_without_reuse(self):
+        with use_backend("cuda_sim"):
+            with reuse.reuse_disabled():
+                with sz.sanitized() as san:
+                    _workload()
+                    assert san.findings == [], san.report()
+
+
+# ---------------------------------------------------------------------------
+# Static lint unit tests
+# ---------------------------------------------------------------------------
+
+
+class TestLint:
+    def test_kernel_without_accesses_flagged(self):
+        src = "K = Kernel('k', run, work)\n"
+        out = lint_source(src, "backends/cuda_sim/kernels.py")
+        assert [f.rule for f in out] == ["kernel-decl"]
+
+    def test_kernel_with_accesses_clean(self):
+        src = "K = Kernel('k', run, work, accesses=_reads_all)\n"
+        assert lint_source(src, "backends/cuda_sim/kernels.py") == []
+
+    def test_argsort_flagged_and_suppressible(self):
+        src = "o = np.argsort(keys)\n"
+        out = lint_source(src, "backends/cpu/spmv.py")
+        assert [f.rule for f in out] == ["argsort"]
+        ok = "o = np.argsort(keys)  # gbsan: ok(argsort) -- fallback path\n"
+        assert lint_source(ok, "backends/cpu/spmv.py") == []
+
+    def test_directive_without_reason_does_not_suppress(self):
+        src = "o = np.argsort(keys)  # gbsan: ok(argsort)\n"
+        out = lint_source(src, "backends/cpu/spmv.py")
+        assert [f.rule for f in out] == ["argsort"]
+
+    def test_container_mutation_flagged(self):
+        src = "c.values[k] = v\n"
+        out = lint_source(src, "core/vector.py")
+        assert [f.rule for f in out] == ["container-mutation"]
+
+    def test_heavy_numpy_in_orchestrator_flagged(self):
+        src = "s = np.searchsorted(rows, x)\n"
+        out = lint_source(src, "backends/multi_sim/backend.py")
+        assert any(f.rule == "uncharged-numpy" for f in out)
+
+    def test_out_of_scope_files_unlinted(self):
+        src = "o = np.argsort(keys)\nc.values[k] = v\n"
+        assert lint_source(src, "testing/programs.py") == []
+
+    def test_repo_tree_is_clean(self):
+        from pathlib import Path
+
+        from repro.sanitizer.lint import lint_tree
+
+        root = Path(gb.__file__).resolve().parent
+        assert lint_tree(root) == []

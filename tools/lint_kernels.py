@@ -1,0 +1,19 @@
+#!/usr/bin/env python
+"""CI entry point for the gbsan static lint.
+
+Equivalent to ``python -m repro.sanitizer.lint``; kept under tools/ so the
+lint can run without installing the package (CI adds src/ to PYTHONPATH).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.sanitizer.lint import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:] or [str(REPO / "src" / "repro")]))
