@@ -20,6 +20,7 @@ from repro.bench.tables import format_series
 from repro.bench.workloads import random_frontier
 from repro.core import operations as ops
 from repro.core.semiring import MIN_PLUS
+from repro.gpu import loadbalance
 
 from conftest import bench_backend, save_table
 
@@ -56,9 +57,13 @@ def test_fig5_render(benchmark):
                     time_operation("cpu", make_case(f, d), repeat=5).seconds
                 )
             for d in sim:
-                sim[d].append(
-                    time_operation("cuda_sim", make_case(f, d)).seconds
-                )
+                # This figure ablates *direction* with each kernel's native
+                # schedule; lane rebinning (bench_table6) would otherwise
+                # narrow pull's short-row penalty and blur the crossover.
+                with loadbalance.lanes_disabled():
+                    sim[d].append(
+                        time_operation("cuda_sim", make_case(f, d)).seconds
+                    )
         fig = format_series(
             "Figure 5 — push vs pull mxv on rmat_s12, CPU wall time (s)",
             "frontier frac",

@@ -25,6 +25,7 @@ from repro.bench.tables import format_table
 from repro.bench.workloads import random_frontier
 from repro.core import operations as ops
 from repro.core.semiring import PLUS_TIMES
+from repro.gpu import loadbalance
 from repro.gpu.device import get_device, reset_device
 
 from conftest import save_table
@@ -57,11 +58,15 @@ def simulated_kernel_us(g, kernel: str, overrides) -> float:
     if kernel.startswith("warp"):
         u = gb.Vector.full(1.0, n, gb.FP64)
         direction = "pull"
+        lane = "vector"
     else:
         u = random_frontier(n, n, seed=4)  # dense frontier: worst-case push
         direction = "push"
+        lane = "scalar"
     g.csc()  # pre-built column view so push pays no transpose
-    with use_backend("cuda_sim"):
+    # This table ablates the cost model *per kernel style*; pin the lane so
+    # the load balancer doesn't swap styles out from under the claim.
+    with loadbalance.forced(lane), use_backend("cuda_sim"):
         w = gb.Vector.sparse(gb.FP64, n)
         ops.mxv(w, g, u, PLUS_TIMES, direction=direction)
     return dev.profiler.kernel_time_us

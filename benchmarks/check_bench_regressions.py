@@ -74,13 +74,22 @@ def main(argv=None) -> int:
         cur_path = args.current_dir / f"BENCH_{fig}.json"
         if not base_path.exists():
             # A figure added in the current change has no committed baseline
-            # yet; the first run that lands one establishes it.  Warn so the
-            # gap is visible, but don't fail the gate on a brand-new figure.
-            print(
-                f"[bench-gate] {fig}: no baseline at {base_path}; "
-                "skipping (will gate once a baseline is committed)",
-                file=sys.stderr,
-            )
+            # yet.  Seed one from the current run so the very next run is
+            # gated — a brand-new figure should never stay ungated for more
+            # than one pass.
+            if cur_path.exists():
+                base_path.parent.mkdir(parents=True, exist_ok=True)
+                base_path.write_text(cur_path.read_text())
+                print(
+                    f"[bench-gate] {fig}: baseline seeded from {cur_path}",
+                    file=sys.stderr,
+                )
+            else:
+                print(
+                    f"[bench-gate] {fig}: no baseline at {base_path} and no "
+                    f"current record at {cur_path}; skipping",
+                    file=sys.stderr,
+                )
             continue
         if not cur_path.exists():
             failures.append(f"{fig}: current record {cur_path} not found")

@@ -38,6 +38,7 @@ from ...gpu.kernel import Kernel, LaunchConfig, charge_transfer, launch
 from ...gpu.residency import RESIDENT_CAP, ResidentSet
 from ..base import Backend
 from ..cpu.spmv import choose_direction, mask_pull_rows
+from . import kernels
 from .kernels import (
     APPLY_M,
     APPLY_V,
@@ -59,6 +60,7 @@ from .kernels import (
     SPMV_PULL_FUSED,
     SPMV_PUSH_FUSED,
     TRANSPOSE_COUNTSORT,
+    laned,
 )
 
 __all__ = ["CudaSimBackend"]
@@ -224,7 +226,8 @@ class CudaSimBackend(Backend):
             tcsr = self._transposed_operand(a, csc)
             cfg = LaunchConfig.cover(max(u.nvals, 1) * 32)
             out = launch(
-                SPMSV_PUSH, cfg, tcsr, u, semiring, out_t, False, mask, desc,
+                laned(SPMSV_PUSH, kernels.push_lane(tcsr, u), "scalar"),
+                cfg, tcsr, u, semiring, out_t, False, mask, desc,
                 device=self._dev(),
             )
         else:
@@ -232,7 +235,8 @@ class CudaSimBackend(Backend):
             nrows = a.nrows if rows is None else len(rows)
             cfg = LaunchConfig.cover(max(nrows, 1) * 32)
             out = launch(
-                SPMV_CSR_VECTOR, cfg, a, u, semiring, out_t, False, rows,
+                laned(SPMV_CSR_VECTOR, kernels.pull_lane(a, rows), "vector"),
+                cfg, a, u, semiring, out_t, False, rows,
                 device=self._dev(),
             )
         self._mark_resident(out)
@@ -267,7 +271,8 @@ class CudaSimBackend(Backend):
                 self._ensure_resident(mask)
             cfg = LaunchConfig.cover(max(u.nvals, 1) * 32)
             out = launch(
-                SPMSV_PUSH, cfg, a, u, semiring, out_t, True, mask, desc,
+                laned(SPMSV_PUSH, kernels.push_lane(a, u), "scalar"),
+                cfg, a, u, semiring, out_t, True, mask, desc,
                 device=self._dev(),
             )
         else:
@@ -276,7 +281,8 @@ class CudaSimBackend(Backend):
             nrows = tcsr.nrows if rows is None else len(rows)
             cfg = LaunchConfig.cover(max(nrows, 1) * 32)
             out = launch(
-                SPMV_CSR_VECTOR, cfg, tcsr, u, semiring, out_t, True, rows,
+                laned(SPMV_CSR_VECTOR, kernels.pull_lane(tcsr, rows), "vector"),
+                cfg, tcsr, u, semiring, out_t, True, rows,
                 device=self._dev(),
             )
         self._mark_resident(out)
@@ -300,10 +306,14 @@ class CudaSimBackend(Backend):
             self._ensure_resident(mask)
             keys = mask_keys_for(mask, desc)
             out = launch(
-                SPGEMM_HASH_MASKED, cfg, a, b, semiring, out_t, keys, device=self._dev()
+                laned(SPGEMM_HASH_MASKED, kernels.spgemm_lane(a), "scalar"),
+                cfg, a, b, semiring, out_t, keys, device=self._dev(),
             )
         else:
-            out = launch(SPGEMM_HASH, cfg, a, b, semiring, out_t, device=self._dev())
+            out = launch(
+                laned(SPGEMM_HASH, kernels.spgemm_lane(a), "scalar"),
+                cfg, a, b, semiring, out_t, device=self._dev(),
+            )
         self._mark_resident(out)
         return out
 
@@ -388,14 +398,16 @@ class CudaSimBackend(Backend):
         if d == "push":
             cfg = LaunchConfig.cover(max(frontier.nvals, 1) * 32)
             out = launch(
-                SPMV_PUSH_FUSED, cfg, levels, frontier, a, value, semiring, desc,
+                laned(SPMV_PUSH_FUSED, kernels.push_lane(a, frontier), "scalar"),
+                cfg, levels, frontier, a, value, semiring, desc,
                 device=self._dev(),
             )
         else:
             tcsr = self._transposed_operand(a, csc)
             cfg = LaunchConfig.cover(max(tcsr.nrows, 1) * 32)
             out = launch(
-                SPMV_PULL_FUSED, cfg, levels, frontier, tcsr, value, semiring, desc,
+                laned(SPMV_PULL_FUSED, kernels.pull_lane(tcsr), "vector"),
+                cfg, levels, frontier, tcsr, value, semiring, desc,
                 device=self._dev(),
             )
         new_levels, new_frontier = out

@@ -17,7 +17,7 @@ CUSP:
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -26,6 +26,7 @@ from ...containers.sparsevec import SparseVector
 from ...core.monoid import Monoid
 from ...core.operators import BinaryOp, UnaryOp
 from ...core.semiring import Semiring
+from ...gpu import loadbalance
 from ...gpu.costmodel import KernelWork
 from ...gpu.kernel import Kernel
 from ...sanitizer.access import Access
@@ -43,6 +44,10 @@ from ..cpu.spmv import row_gather_product, scatter_product, take_ranges
 
 __all__ = [
     "combine_coalescing",
+    "laned",
+    "push_lane",
+    "pull_lane",
+    "spgemm_lane",
     "SPMV_CSR_VECTOR",
     "SPMSV_PUSH",
     "SPMV_PUSH_FUSED",
@@ -101,6 +106,79 @@ def _no_declared_access(*args, **kwargs) -> Access:
 
 
 # ---------------------------------------------------------------------------
+# Skew-aware lane scheduling (see repro.gpu.loadbalance)
+# ---------------------------------------------------------------------------
+#
+# The row-structured kernels (SpMV/SpMSpV/frontier/SpGEMM) each have a
+# *native* lane — the single strategy the seed kernels modeled.  Their work
+# estimators now accept an optional ``lane`` chosen by the backend (or
+# resolved here from the same policy when called directly), and derive the
+# divergence/thread schedule from repro.gpu.loadbalance.  Forcing a
+# kernel's native lane reproduces the pre-lanes estimate bit for bit.
+
+
+def _lane_sched(lens, lane, native, threads_per_row: int = 32):
+    resolved = lane if lane is not None else loadbalance.choose_lanes(lens, native=native)
+    return loadbalance.schedule(lens, resolved, threads_per_row=threads_per_row)
+
+
+_LANED: Dict[Tuple[str, str], Kernel] = {}
+
+
+def laned(base: Kernel, lane: str, native: str) -> Kernel:
+    """A lane-pinned variant of ``base`` (memoised per kernel/lane pair).
+
+    The variant shares the semantic function and access declaration —
+    lanes are pure schedule decisions — and passes ``lane=`` through to
+    the work estimator.  The native lane returns ``base`` itself, so
+    default-shaped launches stay bit- and label-identical to seed.
+    """
+    if lane == native:
+        return base
+    key = (base.name, lane)
+    hit = _LANED.get(key)
+    if hit is None:
+        work = base.work
+
+        def lane_work(*args, _work=work, _lane=lane, **kwargs):
+            return _work(*args, lane=_lane, **kwargs)
+
+        hit = Kernel(base.name, base.run, lane_work, accesses=base.accesses, lane=lane)
+        _LANED[key] = hit
+    return hit
+
+
+def push_lane(csr: CSRMatrix, u: SparseVector) -> str:
+    """Per-launch lane for a push (SpMSpV/frontier-expand) kernel: bin the
+    frontier rows' degrees (an O(frontier) indptr lookup, no matrix pass)."""
+    lens = csr.indptr[u.indices + 1] - csr.indptr[u.indices]
+    return loadbalance.choose_lanes(lens, native="scalar")
+
+
+def pull_lane(a: CSRMatrix, rows=None) -> str:
+    """Per-launch lane for a pull (CSR-vector SpMV) kernel.
+
+    The full-matrix case reads the version-cached ``row_degrees`` /
+    ``row_nnz_max`` aux stats; the row-restricted case bins just the
+    requested rows.
+    """
+    if rows is None:
+        return loadbalance.choose_lanes(
+            a.row_degrees(), nnz_max=a.row_nnz_max(), native="vector"
+        )
+    lens = a.indptr[np.asarray(rows) + 1] - a.indptr[np.asarray(rows)]
+    return loadbalance.choose_lanes(lens, native="vector")
+
+
+def spgemm_lane(a: CSRMatrix) -> str:
+    """Per-launch lane for the hash SpGEMM: A's cached degree stats proxy
+    the per-output-row FLOP distribution (heavy A rows expand the most)."""
+    return loadbalance.choose_lanes(
+        a.row_degrees(), nnz_max=a.row_nnz_max(), native="scalar"
+    )
+
+
+# ---------------------------------------------------------------------------
 # SpMV — warp-per-row CSR-vector kernel (pull direction)
 # ---------------------------------------------------------------------------
 
@@ -109,7 +187,9 @@ def _spmv_run(a, u, semiring, out_type, flip, rows):
     return row_gather_product(a, u, semiring, out_type, flip=flip, rows=rows)
 
 
-def _spmv_work(a: CSRMatrix, u: SparseVector, semiring, out_type, flip, rows) -> KernelWork:
+def _spmv_work(
+    a: CSRMatrix, u: SparseVector, semiring, out_type, flip, rows, lane=None
+) -> KernelWork:
     if rows is None:
         lens = a.row_degrees()
         nrows = a.nrows
@@ -118,11 +198,13 @@ def _spmv_work(a: CSRMatrix, u: SparseVector, semiring, out_type, flip, rows) ->
         nrows = len(rows)
     nnz = float(lens.sum())
     item = a.type.nbytes
+    sched = _lane_sched(lens, lane, "vector")
     reads, coal = combine_coalescing(
         [
             (2.0 * nrows * _IDX, "sequential"),  # indptr
             (nnz * (_IDX + item), "segmented"),  # column indices + values
             (nnz * (u.type.nbytes + _IDX), "gather"),  # x[col] lookups (binary probe)
+            *sched.extra_read_parts,  # lane bookkeeping (bins / merge path)
         ]
     )
     written = float(min(nrows, u.nvals * 8 + nrows)) * (out_type.nbytes + _IDX)
@@ -130,8 +212,8 @@ def _spmv_work(a: CSRMatrix, u: SparseVector, semiring, out_type, flip, rows) ->
         flops=2.0 * nnz,
         bytes_read=reads,
         bytes_written=written,
-        threads=nrows * 32,
-        divergence=divergence_warp_per_row(lens),
+        threads=sched.threads if nrows else nrows * 32,
+        divergence=sched.divergence,
         coalescing=coal,
     )
 
@@ -166,14 +248,17 @@ def _spmsv_run(csr, u, semiring, out_type, flip, mask=None, desc=DEFAULT):
 
 
 def _spmsv_work(
-    csr: CSRMatrix, u: SparseVector, semiring, out_type, flip, mask=None, desc=DEFAULT
+    csr: CSRMatrix, u: SparseVector, semiring, out_type, flip, mask=None, desc=DEFAULT,
+    lane=None,
 ) -> KernelWork:
     lens = csr.indptr[u.indices + 1] - csr.indptr[u.indices]
     expanded = float(lens.sum())
     item = csr.type.nbytes
+    sched = _lane_sched(lens, lane, "scalar")
     read_parts = [
         (2.0 * u.nvals * _IDX, "gather"),  # indptr probes at frontier rows
         (expanded * (_IDX + item), "segmented"),  # expanded row slices
+        *sched.extra_read_parts,  # lane bookkeeping (bins / merge path)
     ]
     if mask is not None:
         read_parts.append((expanded * 1.0, "gather"))  # mask bitmap probes
@@ -189,8 +274,8 @@ def _spmsv_work(
         flops=2.0 * kept,
         bytes_read=reads,
         bytes_written=writes,
-        threads=max(int(u.nvals), 1) * 32,
-        divergence=divergence_thread_per_row(lens),
+        threads=sched.threads,
+        divergence=sched.divergence,
         coalescing=coal,
     )
 
@@ -229,16 +314,18 @@ def _frontier_push_run(levels, frontier, a, value, semiring, desc):
     return new_levels, merge_vector(frontier, t, new_levels, None, desc)
 
 
-def _frontier_push_work(levels, frontier, a, value, semiring, desc) -> KernelWork:
+def _frontier_push_work(levels, frontier, a, value, semiring, desc, lane=None) -> KernelWork:
     lens = a.indptr[frontier.indices + 1] - a.indptr[frontier.indices]
     expanded = float(lens.sum())
     item = a.type.nbytes
     kept = expanded * _mask_keep_fraction(levels, desc)
+    sched = _lane_sched(lens, lane, "scalar")
     reads, coal_r = combine_coalescing(
         [
             (2.0 * frontier.nvals * _IDX, "gather"),  # indptr probes
             (expanded * (_IDX + item), "segmented"),  # row slices
             (expanded * 1.0, "gather"),  # visited-bitmap probes
+            *sched.extra_read_parts,  # lane bookkeeping (bins / merge path)
         ]
     )
     writes, coal_w = combine_coalescing(
@@ -253,8 +340,8 @@ def _frontier_push_work(levels, frontier, a, value, semiring, desc) -> KernelWor
         flops=2.0 * kept + frontier.nvals,
         bytes_read=reads,
         bytes_written=writes,
-        threads=max(int(frontier.nvals), 1) * 32,
-        divergence=divergence_thread_per_row(lens),
+        threads=sched.threads,
+        divergence=sched.divergence,
         coalescing=coal,
     )
 
@@ -275,18 +362,23 @@ def _frontier_pull_run(levels, frontier, tcsr, value, semiring, desc):
     return new_levels, merge_vector(frontier, t, new_levels, None, desc)
 
 
-def _frontier_pull_work(levels, frontier, tcsr, value, semiring, desc) -> KernelWork:
+def _frontier_pull_work(levels, frontier, tcsr, value, semiring, desc, lane=None) -> KernelWork:
     # Pull over the unvisited rows only (the kernel skips settled vertices).
     unvisited = max(tcsr.nrows - levels.nvals - frontier.nvals, 1)
     lens = tcsr.row_degrees()
     nnz_frac = unvisited / max(tcsr.nrows, 1)
     nnz = float(lens.sum()) * nnz_frac
     item = tcsr.type.nbytes
+    # Divergence follows the full degree distribution (the unvisited set is
+    # a structural sample of it); threads scale the lane schedule down to
+    # the unvisited fraction the kernel actually covers.
+    sched = _lane_sched(lens, lane, "vector")
     reads, coal = combine_coalescing(
         [
             (2.0 * unvisited * _IDX, "sequential"),  # indptr
             (nnz * (_IDX + item), "segmented"),  # columns + values
             (nnz * (frontier.type.nbytes + _IDX), "gather"),  # frontier probes
+            *sched.extra_read_parts,  # lane bookkeeping (bins / merge path)
         ]
     )
     writes = float(unvisited) * (frontier.type.nbytes + _IDX) + frontier.nvals * (
@@ -296,8 +388,8 @@ def _frontier_pull_work(levels, frontier, tcsr, value, semiring, desc) -> Kernel
         flops=2.0 * nnz + frontier.nvals,
         bytes_read=reads,
         bytes_written=writes,
-        threads=unvisited * 32,
-        divergence=divergence_warp_per_row(lens),
+        threads=max(int(round(sched.threads * nnz_frac)), 1),
+        divergence=sched.divergence,
         coalescing=coal,
     )
 
@@ -357,7 +449,7 @@ def _spgemm_run(a, b, semiring, out_type):
     return spgemm_esr(a, b, semiring, out_type)
 
 
-def _spgemm_work(a: CSRMatrix, b: CSRMatrix, semiring, out_type) -> KernelWork:
+def _spgemm_work(a: CSRMatrix, b: CSRMatrix, semiring, out_type, lane=None) -> KernelWork:
     # FLOPs: one multiply+add per expanded partial product.
     _, lens = take_ranges(b.indptr, a.indices)
     expanded = float(lens.sum())
@@ -367,10 +459,12 @@ def _spgemm_work(a: CSRMatrix, b: CSRMatrix, semiring, out_type) -> KernelWork:
     if a.nvals:
         a_rows = np.repeat(np.arange(a.nrows, dtype=np.int64), a.row_degrees())
         np.add.at(row_flops, a_rows, lens.astype(np.float64))
+    sched = _lane_sched(row_flops, lane, "scalar", threads_per_row=64)
     reads, coal = combine_coalescing(
         [
             (a.nvals * (_IDX + item), "segmented"),  # A entries
             (expanded * (_IDX + item), "gather"),  # B row slices per A entry
+            *sched.extra_read_parts,  # lane bookkeeping (bins / merge path)
         ]
     )
     writes = expanded * (out_type.nbytes + _IDX)  # hash-table updates
@@ -380,8 +474,8 @@ def _spgemm_work(a: CSRMatrix, b: CSRMatrix, semiring, out_type) -> KernelWork:
         flops=2.0 * expanded,
         bytes_read=reads,
         bytes_written=writes,
-        threads=max(a.nrows, 1) * 64,
-        divergence=divergence_thread_per_row(row_flops, warp_size=32),
+        threads=sched.threads,
+        divergence=sched.divergence,
         coalescing=coal,
     )
 
@@ -395,7 +489,9 @@ def _spgemm_masked_run(a, b, semiring, out_type, allowed_keys):
     return spgemm_masked_esr(a, b, semiring, out_type, allowed_keys)
 
 
-def _spgemm_masked_work(a: CSRMatrix, b: CSRMatrix, semiring, out_type, allowed_keys) -> KernelWork:
+def _spgemm_masked_work(
+    a: CSRMatrix, b: CSRMatrix, semiring, out_type, allowed_keys, lane=None
+) -> KernelWork:
     """Masked hash SpGEMM: probes still expand every partial product, but
     hash-table writes only happen at mask positions, so write traffic (the
     atomic, worst-coalesced part) scales with the mask instead of the
@@ -407,11 +503,13 @@ def _spgemm_masked_work(a: CSRMatrix, b: CSRMatrix, semiring, out_type, allowed_
     if a.nvals:
         a_rows = np.repeat(np.arange(a.nrows, dtype=np.int64), a.row_degrees())
         np.add.at(row_flops, a_rows, lens.astype(np.float64))
+    sched = _lane_sched(row_flops, lane, "scalar", threads_per_row=64)
     reads, coal_r = combine_coalescing(
         [
             (a.nvals * (_IDX + item), "segmented"),  # A entries
             (expanded * (_IDX + item), "gather"),  # B row slices
             (expanded * _IDX, "gather"),  # mask membership probes
+            *sched.extra_read_parts,  # lane bookkeeping (bins / merge path)
         ]
     )
     # Writes bounded by mask size (each allowed key updated ~a few times).
@@ -424,8 +522,8 @@ def _spgemm_masked_work(a: CSRMatrix, b: CSRMatrix, semiring, out_type, allowed_
         flops=2.0 * expanded,
         bytes_read=reads,
         bytes_written=writes,
-        threads=max(a.nrows, 1) * 64,
-        divergence=divergence_thread_per_row(row_flops, warp_size=32),
+        threads=sched.threads,
+        divergence=sched.divergence,
         coalescing=coal,
     )
 

@@ -85,6 +85,10 @@ from ..cuda_sim.kernels import (
     SPMSV_PUSH,
     SPMV_CSR_VECTOR,
     _frontier_assign,
+    laned,
+    pull_lane,
+    push_lane,
+    spgemm_lane,
 )
 from .kernels import PARTIAL_MERGE, TRANSPOSE_SHARD
 
@@ -345,8 +349,10 @@ class MultiSimBackend(Backend):
                 continue
             if san is not None:
                 san.note_derived(self._dev(p), ush, u)
+            # Each shard re-bins its own frontier slice: a degree-balanced
+            # split can still leave one device holding a mega-hub.
             t_p = launch(
-                SPMSV_PUSH,
+                laned(SPMSV_PUSH, push_lane(shard, ush), "scalar"),
                 LaunchConfig.cover(max(ush.nvals, 1) * 32),
                 shard,
                 ush,
@@ -399,8 +405,9 @@ class MultiSimBackend(Backend):
             if shard.nvals == 0 or u.nvals == 0 or nloc == 0:
                 shards_out.append(SparseVector.empty(shard.nrows, out_t))
                 continue
+            # Shard-local lane choice from the shard's own degree stats.
             t_p = launch(
-                SPMV_CSR_VECTOR,
+                laned(SPMV_CSR_VECTOR, pull_lane(shard, local_rows), "vector"),
                 LaunchConfig.cover(max(nloc, 1) * 32),
                 shard,
                 u,
@@ -522,15 +529,18 @@ class MultiSimBackend(Backend):
                 blocks.append(CSRMatrix.empty(shard.nrows, b.ncols, out_t))
                 continue
             cfg = LaunchConfig.cover(max(shard.nrows, 1) * 64)
+            lane = spgemm_lane(shard)
             if masked:
                 keys = mask_keys_for(_slice_rows(mask, lo, hi), desc)
                 blk = launch(
-                    SPGEMM_HASH_MASKED, cfg, shard, b, semiring, out_t, keys,
+                    laned(SPGEMM_HASH_MASKED, lane, "scalar"),
+                    cfg, shard, b, semiring, out_t, keys,
                     device=self._dev(p),
                 )
             else:
                 blk = launch(
-                    SPGEMM_HASH, cfg, shard, b, semiring, out_t, device=self._dev(p)
+                    laned(SPGEMM_HASH, lane, "scalar"),
+                    cfg, shard, b, semiring, out_t, device=self._dev(p),
                 )
             blocks.append(blk)
         out = concat_row_blocks(blocks, b.ncols, out_t)

@@ -92,8 +92,11 @@ class KernelGraph:
         self.name = name
         self._device = device
         self._signature: Optional[Tuple[str, ...]] = None
-        # (kernel name, busy time us, work) collected during a replay pass.
-        self._pending: List[Tuple[str, float, KernelWork]] = []
+        # (signature name, record name, busy us, work) per launch.  The
+        # signature uses the bare kernel name while records carry the
+        # lane-labeled display name, so a load-balancing lane flip between
+        # iterations re-costs the launch without forcing a recapture.
+        self._pending: List[Tuple[str, str, float, KernelWork]] = []
         self._capturing = False
         self.stats = GraphStats()
 
@@ -134,10 +137,12 @@ class KernelGraph:
         capture the launch is charged normally — only the name is recorded.
         """
         if self._capturing:
-            self._pending.append((kernel.name, 0.0, work))
+            self._pending.append((kernel.name, kernel.display_name, 0.0, work))
             return False
         busy = dev.cost_model.kernel_time_us(work) - dev.props.launch_overhead_us
-        self._pending.append((kernel.name, max(busy, 0.0), work))
+        self._pending.append(
+            (kernel.name, kernel.display_name, max(busy, 0.0), work)
+        )
         return True
 
     # ------------------------------------------------------------------
@@ -148,7 +153,7 @@ class KernelGraph:
         if self._capturing:
             self._capturing = False
             if pending:
-                self._signature = tuple(name for name, _, _ in pending)
+                self._signature = tuple(name for name, _, _, _ in pending)
                 self.stats.captures += 1
             if san is not None:
                 san.on_graph_commit(self, replayed=False)
@@ -157,11 +162,11 @@ class KernelGraph:
             if san is not None:
                 san.on_graph_commit(self, replayed=False)
             return  # nothing launched this iteration; nothing to charge
-        names = tuple(name for name, _, _ in pending)
+        names = tuple(name for name, _, _, _ in pending)
         overhead = dev.props.launch_overhead_us
         if names == self._signature:
             # One graph launch: single overhead + the members' busy times.
-            busy_total = sum(busy for _, busy, _ in pending)
+            busy_total = sum(busy for _, _, busy, _ in pending)
             dt = overhead + busy_total
             start = dev.clock_us
             dev.advance(dt)
@@ -171,12 +176,12 @@ class KernelGraph:
                     kind="kernel",
                     start_us=start,
                     duration_us=dt,
-                    flops=sum(w.flops for _, _, w in pending),
-                    bytes=sum(w.bytes_total for _, _, w in pending),
-                    threads=max(w.threads for _, _, w in pending),
+                    flops=sum(w.flops for _, _, _, w in pending),
+                    bytes=sum(w.bytes_total for _, _, _, w in pending),
+                    threads=max(w.threads for _, _, _, w in pending),
                     members=tuple(
-                        (name, busy, w.flops, w.bytes_total)
-                        for name, busy, w in pending
+                        (rec_name, busy, w.flops, w.bytes_total)
+                        for _, rec_name, busy, w in pending
                     ),
                 )
             )
@@ -187,13 +192,13 @@ class KernelGraph:
                 san.on_graph_commit(self, replayed=True)
             return
         # Sequence diverged: charge kernel by kernel and re-capture.
-        for name, busy, work in pending:
+        for _, rec_name, busy, work in pending:
             dt = overhead + busy
             start = dev.clock_us
             dev.advance(dt)
             dev.profiler.record(
                 LaunchRecord(
-                    name=name,
+                    name=rec_name,
                     kind="kernel",
                     start_us=start,
                     duration_us=dt,

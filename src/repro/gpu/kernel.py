@@ -75,9 +75,21 @@ class Kernel:
     run: Callable[..., Any]
     work: Callable[..., KernelWork]
     accesses: Optional[Callable[..., Access]] = None
+    # Load-balancing lane this variant is pinned to (see
+    # repro.gpu.loadbalance).  Profiler records carry it as a
+    # "name[lane]" label; kernel-graph signatures use the bare name, so a
+    # lane flip between iterations re-costs the launch without forcing a
+    # recapture.
+    lane: Optional[str] = None
+
+    @property
+    def display_name(self) -> str:
+        if self.lane is None:
+            return self.name
+        return f"{self.name}[{self.lane}]"
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"Kernel({self.name})"
+        return f"Kernel({self.display_name})"
 
 
 def launch(
@@ -141,7 +153,7 @@ def launch(
         dev.advance(dt)
     dev.profiler.record(
         LaunchRecord(
-            name=kernel.name,
+            name=kernel.display_name,
             kind="kernel",
             start_us=start,
             duration_us=dt,

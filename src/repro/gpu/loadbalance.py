@@ -1,0 +1,363 @@
+"""Skew-aware lane scheduling for the simulated kernels.
+
+GraphBLAST and Gunrock both select a *load-balancing policy* per launch
+from the degree distribution: short rows run thread-per-row (CSR-scalar),
+medium rows run warp-per-row (CSR-vector), and long/irregular rows run a
+merge-path kernel that splits ``nnz + nrows`` work units into equal-sized
+partitions regardless of row boundaries.  This module is the simulated
+analogue: it bins rows into those three lanes from the degree statistics
+already cached on the containers (``row_degrees`` / ``row_nnz_max`` — no
+new passes over the matrix), and produces per-lane divergence/thread
+schedules the work estimators in ``cuda_sim/kernels.py`` charge through
+the existing cost model.
+
+Lane selection is a pure *schedule* decision: the semantic functions are
+untouched, so results are bit-identical to the single-lane kernels on
+every backend.  Like the reuse layer, the policy has an explicit A/B
+switch — ``configure(mode=...)`` / :func:`lanes_disabled` /
+:func:`forced` — so benchmarks can measure the lane layer against its own
+baseline within one process.
+
+Lane vocabulary:
+
+- ``"scalar"`` — thread-per-row; a warp serialises to its longest row
+  (:func:`~repro.gpu.simt.divergence_thread_per_row`).
+- ``"vector"`` — warp-per-row; lanes stride the row, short rows waste
+  lanes (:func:`~repro.gpu.simt.divergence_warp_per_row`).
+- ``"merge"`` — merge-path; equal-work partitions over ``nnz + nrows``
+  with per-partition binary searches for the start coordinates.
+- ``"binned"`` — the auto policy's mixed schedule: each bin runs its own
+  lane, total busy time is the work-weighted combination.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import InvalidValueError
+from .simt import divergence_thread_per_row, divergence_warp_per_row
+
+__all__ = [
+    "LANES",
+    "MODES",
+    "LanePlan",
+    "LaneSchedule",
+    "choose_lanes",
+    "configure",
+    "current_mode",
+    "forced",
+    "lanes_disabled",
+    "lanes_enabled",
+    "merge_partitions",
+    "plan_rows",
+    "schedule",
+]
+
+_IDX = 8  # bytes per index (int64), matching the kernel estimators
+
+#: The three concrete lanes a row bin can run in.
+LANES: Tuple[str, ...] = ("scalar", "vector", "merge")
+
+#: Valid policy modes: ``auto`` bins per launch, a lane name forces that
+#: lane everywhere, ``off`` keeps each kernel's native single-lane
+#: schedule (the pre-lanes baseline).
+MODES: Tuple[str, ...] = ("auto", "scalar", "vector", "merge", "off")
+
+
+class _Config:
+    __slots__ = ("mode", "scalar_cutoff", "vector_cutoff", "merge_tile")
+
+    def __init__(self) -> None:
+        self.mode = "auto"
+        # Rows with <= scalar_cutoff entries: thread-per-row is already
+        # balanced.  Rows in (scalar_cutoff, vector_cutoff]: warp-per-row
+        # with a row-sized vector width.  Longer rows: merge-path.
+        self.scalar_cutoff = 4
+        self.vector_cutoff = 256
+        # Work units (nnz + nrows) per merge-path partition.
+        self.merge_tile = 256
+
+
+_CONFIG = _Config()
+
+
+def configure(
+    mode: Optional[str] = None,
+    scalar_cutoff: Optional[int] = None,
+    vector_cutoff: Optional[int] = None,
+    merge_tile: Optional[int] = None,
+) -> None:
+    """Set lane-policy switches (None leaves a switch untouched)."""
+    if mode is not None:
+        if mode not in MODES:
+            raise InvalidValueError(f"unknown lane mode {mode!r}; known: {MODES}")
+        _CONFIG.mode = mode
+    if scalar_cutoff is not None:
+        if scalar_cutoff < 1:
+            raise InvalidValueError(f"scalar_cutoff must be >= 1, got {scalar_cutoff}")
+        _CONFIG.scalar_cutoff = int(scalar_cutoff)
+    if vector_cutoff is not None:
+        if vector_cutoff <= _CONFIG.scalar_cutoff:
+            raise InvalidValueError(
+                f"vector_cutoff must exceed scalar_cutoff "
+                f"({_CONFIG.scalar_cutoff}), got {vector_cutoff}"
+            )
+        _CONFIG.vector_cutoff = int(vector_cutoff)
+    if merge_tile is not None:
+        if merge_tile < 2:
+            raise InvalidValueError(f"merge_tile must be >= 2, got {merge_tile}")
+        _CONFIG.merge_tile = int(merge_tile)
+
+
+def current_mode() -> str:
+    return _CONFIG.mode
+
+
+def lanes_enabled() -> bool:
+    return _CONFIG.mode != "off"
+
+
+@contextmanager
+def lanes_disabled() -> Iterator[None]:
+    """Run with lane selection off (every kernel keeps its native lane)."""
+    prev = _CONFIG.mode
+    _CONFIG.mode = "off"
+    try:
+        yield
+    finally:
+        _CONFIG.mode = prev
+
+
+@contextmanager
+def forced(mode: str) -> Iterator[None]:
+    """Run with the lane policy pinned to ``mode`` (a lane name or
+    ``auto``/``off``) — the benchmark A/B harness."""
+    if mode not in MODES:
+        raise InvalidValueError(f"unknown lane mode {mode!r}; known: {MODES}")
+    prev = _CONFIG.mode
+    _CONFIG.mode = mode
+    try:
+        yield
+    finally:
+        _CONFIG.mode = prev
+
+
+# ---------------------------------------------------------------------------
+# Row binning
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LanePlan:
+    """Row positions per lane — a partition of ``arange(len(lens))``."""
+
+    scalar: np.ndarray
+    vector: np.ndarray
+    merge: np.ndarray
+
+    @property
+    def label(self) -> str:
+        """``"scalar"``/``"vector"``/``"merge"`` when one bin holds every
+        row, else ``"binned"`` (empty inputs degrade to ``"scalar"``)."""
+        nonempty = [
+            name
+            for name, rows in (
+                ("scalar", self.scalar),
+                ("vector", self.vector),
+                ("merge", self.merge),
+            )
+            if rows.size
+        ]
+        if not nonempty:
+            return "scalar"
+        if len(nonempty) == 1:
+            return nonempty[0]
+        return "binned"
+
+
+def plan_rows(lens: np.ndarray) -> LanePlan:
+    """Bin rows by length into the three lanes (an exact partition)."""
+    lens = np.asarray(lens)
+    sc, vc = _CONFIG.scalar_cutoff, _CONFIG.vector_cutoff
+    short = lens <= sc
+    long_ = lens > vc
+    return LanePlan(
+        scalar=np.flatnonzero(short),
+        vector=np.flatnonzero(~short & ~long_),
+        merge=np.flatnonzero(long_),
+    )
+
+
+def merge_partitions(units: int, tile: Optional[int] = None) -> np.ndarray:
+    """Per-partition sizes for ``units`` merge-path work items.
+
+    Partitions are ``<= tile`` units each and differ by at most one unit —
+    the equal-work guarantee that makes the merge-path lane immune to row
+    skew (a hub row simply spans several partitions).
+    """
+    total = int(units)
+    if total <= 0:
+        return np.zeros(0, dtype=np.int64)
+    t = int(tile) if tile is not None else _CONFIG.merge_tile
+    nparts = max(1, -(-total // t))
+    base, rem = divmod(total, nparts)
+    out = np.full(nparts, base, dtype=np.int64)
+    out[:rem] += 1
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Lane choice
+# ---------------------------------------------------------------------------
+
+
+def choose_lanes(
+    lens: np.ndarray,
+    nnz_max: Optional[int] = None,
+    native: str = "scalar",
+) -> str:
+    """The per-launch lane decision (the analogue of ``choose_direction``).
+
+    ``lens`` is the per-row work distribution (degrees, or FLOPs for
+    SpGEMM); ``nnz_max`` is the cached row maximum when available, used as
+    a short-circuit so uniform short-row graphs skip binning entirely;
+    ``native`` is the kernel's built-in lane, returned when the policy is
+    off.  Returns a lane name or ``"binned"``.
+    """
+    mode = _CONFIG.mode
+    if mode == "off":
+        return native
+    if mode in LANES:
+        return mode
+    lens = np.asarray(lens)
+    if lens.size == 0:
+        return native
+    if nnz_max is not None and nnz_max <= _CONFIG.scalar_cutoff:
+        return "scalar"
+    return plan_rows(lens).label
+
+
+# ---------------------------------------------------------------------------
+# Per-lane schedules
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LaneSchedule:
+    """What a lane decision costs: the divergence factor the cost model
+    multiplies busy time by, the launched thread count, and any extra
+    bookkeeping reads (as ``combine_coalescing`` parts)."""
+
+    lane: str
+    divergence: float
+    threads: int
+    extra_read_parts: Tuple[Tuple[float, str], ...] = ()
+
+
+def _pow2_at_least(x: float, lo: int, hi: int) -> int:
+    """Smallest power of two >= x, clamped to [lo, hi]."""
+    v = lo
+    while v < x and v < hi:
+        v *= 2
+    return v
+
+
+def _merge_schedule(
+    lens: np.ndarray, threads_per_row: int, tile: Optional[int] = None
+) -> LaneSchedule:
+    """Merge-path lane: equal partitions over ``nnz + nrows`` work units.
+
+    Divergence is the path-length inflation (row-boundary bookkeeping
+    items interleaved with the nonzeros) times the partition imbalance —
+    which :func:`merge_partitions` bounds at one unit, so balanced
+    partitions are rewarded with a factor approaching the pure path
+    overhead.  Each partition additionally pays two binary searches over
+    ``indptr`` to locate its start coordinate (gather-class reads).
+    """
+    useful = float(lens.sum())
+    units = int(useful) + int(lens.size)
+    parts = merge_partitions(units, tile)
+    if parts.size == 0:
+        return LaneSchedule("merge", 1.0, threads_per_row)
+    imbalance = float(parts.max()) / (float(parts.sum()) / parts.size)
+    path_inflation = units / max(useful, 1.0)
+    probe_depth = float(np.ceil(np.log2(lens.size + 2)))
+    extra = (float(parts.size) * 2.0 * _IDX * probe_depth, "gather")
+    return LaneSchedule(
+        "merge",
+        max(1.0, path_inflation * imbalance),
+        int(parts.size) * threads_per_row,
+        (extra,),
+    )
+
+
+def schedule(
+    lens: np.ndarray, lane: str, threads_per_row: int = 32, warp_size: int = 32
+) -> LaneSchedule:
+    """Divergence/thread schedule for running ``lens`` rows in ``lane``.
+
+    Forced single lanes reproduce the pre-lanes estimators exactly
+    (``scalar`` == thread-per-row, ``vector`` == warp-per-row at the full
+    warp width); ``binned`` runs each bin in its own lane and combines the
+    per-bin divergences weighted by useful work, which preserves the sum
+    of per-lane busy times under the cost model's single multiplicative
+    divergence term.
+    """
+    lens = np.asarray(lens, dtype=np.float64)
+    if lane == "scalar":
+        return LaneSchedule(
+            "scalar",
+            divergence_thread_per_row(lens, warp_size),
+            max(int(lens.size), 1) * threads_per_row,
+        )
+    if lane == "vector":
+        return LaneSchedule(
+            "vector",
+            divergence_warp_per_row(lens, warp_size),
+            max(int(lens.size), 1) * threads_per_row,
+        )
+    if lane == "merge":
+        return _merge_schedule(lens, threads_per_row)
+    if lane == "binned":
+        return _binned_schedule(lens, threads_per_row, warp_size)
+    raise InvalidValueError(f"unknown lane {lane!r}; known: {LANES + ('binned',)}")
+
+
+def _binned_schedule(
+    lens: np.ndarray, threads_per_row: int, warp_size: int
+) -> LaneSchedule:
+    plan = plan_rows(lens)
+    total_useful = float(lens.sum())
+    weighted = 0.0
+    threads = 0
+    extras: List[Tuple[float, str]] = []
+    for name, idx in (("scalar", plan.scalar), ("vector", plan.vector), ("merge", plan.merge)):
+        if idx.size == 0:
+            continue
+        sub = lens[idx]
+        if name == "scalar":
+            d = divergence_thread_per_row(sub, warp_size)
+            threads += int(idx.size) * threads_per_row
+        elif name == "vector":
+            # CSR-vector with an adaptive sub-warp vector width (the CUSP
+            # trick): size the cooperating lane group to the bin's mean
+            # row so medium rows stop paying full-warp stride waste.
+            vw = _pow2_at_least(float(sub.mean()), 2, warp_size)
+            d = divergence_warp_per_row(sub, vw)
+            threads += int(idx.size) * threads_per_row
+        else:
+            ms = _merge_schedule(sub, threads_per_row)
+            d = ms.divergence
+            threads += ms.threads
+            extras.extend(ms.extra_read_parts)
+        weighted += float(sub.sum()) * d
+    # One row→lane indirection read per row (the binning bookkeeping).
+    extras.append((float(lens.size) * _IDX, "sequential"))
+    divergence = weighted / total_useful if total_useful > 0 else 1.0
+    return LaneSchedule(
+        "binned", max(1.0, divergence), max(threads, 1), tuple(extras)
+    )

@@ -7,6 +7,10 @@ A *backend spec* is a string naming one execution configuration:
   (fully enabled) state;
 - ``"cuda_sim:noreuse"`` — same kernels with aux caches, transfer elision,
   and kernel graphs all off (the pre-reuse baseline);
+- ``"cuda_sim:lanes=<mode>"`` — the load-balancing lane policy pinned to
+  ``mode`` (a lane name, ``auto``, or ``off`` — see
+  :mod:`repro.gpu.loadbalance`), e.g. ``"cuda_sim:lanes=merge"``: lane
+  selection is pure scheduling, so results must stay bit-identical;
 - ``"multi_sim:P:splitter"`` — the partitioned backend with ``P`` devices
   and the named block-row splitter, e.g. ``"multi_sim:4:degree_balanced"``.
 
@@ -33,7 +37,7 @@ from ..core.descriptor import Descriptor
 from ..core.matrix import Matrix
 from ..core.vector import Vector
 from ..exceptions import GraphBLASError
-from ..gpu import reuse
+from ..gpu import loadbalance, reuse
 from ..gpu.device import reset_device
 from ..types import FP64
 from .equivalence import describe_mismatch, same
@@ -66,6 +70,8 @@ DEFAULT_SPECS = (
     "cpu",
     "cuda_sim",
     "cuda_sim:noreuse",
+    "cuda_sim:lanes=scalar",
+    "cuda_sim:lanes=merge",
     "multi_sim:1:equal_rows",
     "multi_sim:2:equal_rows",
     "multi_sim:2:degree_balanced",
@@ -318,7 +324,11 @@ def execute(
 
     noreuse = spec.endswith(":noreuse")
     ctx = reuse.reuse_disabled() if noreuse else nullcontext()
-    with ctx:
+    lane_ctx: Any = nullcontext()
+    for part in spec.split(":")[1:]:
+        if part.startswith("lanes="):
+            lane_ctx = loadbalance.forced(part[len("lanes="):])
+    with ctx, lane_ctx:
         with use_backend(backend):
             for opspec in program.ops:
                 try:

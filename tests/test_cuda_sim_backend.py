@@ -102,7 +102,7 @@ class TestKernelAccounting:
         with use_backend("cuda_sim"):
             c = gb.Matrix.sparse(gb.FP64, 64, 64)
             ops.mxm(c, a, a, PLUS_TIMES)
-        names = {r.name for r in dev.profiler.records if r.kind == "kernel"}
+        names = {r.name.split("[", 1)[0] for r in dev.profiler.records if r.kind == "kernel"}
         assert "spgemm_hash" in names
 
     def test_kernel_time_grows_with_size(self):

@@ -14,6 +14,7 @@ from repro.backends.cuda_sim.kernels import (
 from repro.containers.csr import CSRMatrix
 from repro.containers.sparsevec import SparseVector
 from repro.core.semiring import PLUS_TIMES
+from repro.gpu import loadbalance
 from repro.types import FP64
 
 
@@ -46,10 +47,18 @@ class TestSpmvWork:
 
     def test_short_rows_raise_divergence(self):
         uniform_short = CSRMatrix.from_dense(np.eye(64))  # rows of length 1
-        w = SPMV_CSR_VECTOR.work(
+        # Native warp-per-row wastes 31 of 32 lanes on length-1 rows.
+        with loadbalance.forced("vector"):
+            w = SPMV_CSR_VECTOR.work(
+                uniform_short, full_vec(64), PLUS_TIMES, FP64, False, None
+            )
+        assert w.divergence == pytest.approx(32.0)
+        # The lane balancer routes uniformly-short rows to the scalar lane,
+        # where equal-length rows have no warp serialisation at all.
+        w_auto = SPMV_CSR_VECTOR.work(
             uniform_short, full_vec(64), PLUS_TIMES, FP64, False, None
         )
-        assert w.divergence == pytest.approx(32.0)
+        assert w_auto.divergence == pytest.approx(1.0)
 
     def test_run_matches_semantics(self):
         a = dense_csr(16, 0.3)
@@ -76,8 +85,13 @@ class TestSpmsvWork:
         d[1:33, 0] = 1.0
         a = CSRMatrix.from_dense(d)
         u = SparseVector(64, np.arange(33), np.ones(33), FP64)
-        w = SPMSV_PUSH.work(a, u, PLUS_TIMES, FP64, False)
+        with loadbalance.forced("scalar"):
+            w = SPMSV_PUSH.work(a, u, PLUS_TIMES, FP64, False)
         assert w.divergence > 5.0
+        # The balancer bins the hub row away from the singletons, cutting
+        # the warp-serialisation penalty.
+        w_auto = SPMSV_PUSH.work(a, u, PLUS_TIMES, FP64, False)
+        assert w_auto.divergence < w.divergence
 
 
 class TestSpgemmWork:
@@ -138,14 +152,19 @@ class TestEndToEndTiming:
             s_rows, s_cols, np.ones(s_rows.size), n, n, dup=FIRST
         )
 
-        def sim_time(g):
+        def sim_time(g, lane=None):
             reset_device()
             get_backend("cuda_sim").evict_all()
             u = gb.Vector.full(1.0, n, gb.FP64)
-            with use_backend("cuda_sim"):
+            import contextlib
+
+            ctx = loadbalance.forced(lane) if lane else contextlib.nullcontext()
+            with ctx, use_backend("cuda_sim"):
                 w = gb.Vector.sparse(gb.FP64, n)
                 ops.mxv(w, g, u, PLUS_TIMES, direction="pull")
             return get_device().profiler.kernel_time_us
 
         # Warp-per-row: the skewed graph's many length-1 rows waste lanes.
-        assert sim_time(skewed) > sim_time(uniform)
+        assert sim_time(skewed, "vector") > sim_time(uniform, "vector")
+        # Lane binning claws back most of that skew penalty.
+        assert sim_time(skewed) < sim_time(skewed, "vector")

@@ -363,7 +363,10 @@ class TestDirectionAndFusion:
             levels = gb.algorithms.bfs_levels(g, 0)
             kernels = [r for r in dev.profiler.records if r.kind == "kernel"]
         assert levels.to_lists() == ref_levels.to_lists()
-        names = {r.name for r in kernels}
+        # Load-balancing lanes annotate records as "name[lane]"; strip the
+        # label — the launch structure is what this test pins.
+        names = {r.name.split("[", 1)[0] for r in kernels if not r.name.startswith("graph_replay")}
+        names |= {r.name for r in kernels if r.name.startswith("graph_replay")}
         # Captured hops charge the fused kernel directly; replayed hops are
         # one aggregated graph launch (see repro.gpu.graph) — either way a
         # hop is exactly one profiler record.  The first pull-mode hop also
