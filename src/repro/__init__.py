@@ -21,7 +21,7 @@ Quickstart::
     assert levels == levels_gpu
 """
 
-from . import algorithms, containers, generators, gpu, io
+from . import algorithms, containers, generators, gpu, io, lazy
 from .backends import (
     available_backends,
     current_backend,
@@ -74,6 +74,7 @@ __all__ = (
         "generators",
         "gpu",
         "io",
+        "lazy",
         "available_backends",
         "current_backend",
         "get_backend",

@@ -16,7 +16,6 @@ from typing import Optional
 
 import numpy as np
 
-from ..backends.dispatch import current_backend
 from ..core import operations as ops
 from ..core.assign import assign
 from ..core.descriptor import Descriptor
@@ -56,19 +55,16 @@ def bfs_levels(
     frontier.set_element(source, True)
     depth = 0
     limit = max_depth if max_depth is not None else n
-    # Capture the per-hop launch sequence once; replay later hops as one
-    # graph launch.  A push↔pull direction flip mid-traversal diverges from
-    # the captured signature and re-captures (charged at full cost).
-    graph = current_backend().kernel_graph("bfs")
+    # Steady-state hops are captured automatically by the lazy optimizer
+    # (repro.lazy.capture): repeated flush signatures aggregate into one
+    # replay record, so no manual capture scope is needed here.
     while frontier.nvals and depth <= limit:
-        with graph.iteration():
-            # One fused step: record this hop's levels and expand the
-            # frontier through the complemented (unvisited) mask — a single
-            # kernel launch on fusing backends instead of an assign +
-            # masked vxm pair.
-            frontier_step(
-                levels, frontier, g, depth, LOR_LAND, _UNVISITED_MASK, direction
-            )
+        # One fused step: record this hop's levels and expand the frontier
+        # through the complemented (unvisited) mask — a single kernel
+        # launch on fusing backends instead of an assign + masked vxm pair.
+        frontier_step(
+            levels, frontier, g, depth, LOR_LAND, _UNVISITED_MASK, direction
+        )
         depth += 1
     return levels
 

@@ -20,7 +20,6 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..backends.dispatch import current_backend
 from ..core import operations as ops
 from ..core.descriptor import Descriptor
 from ..core.matrix import Matrix
@@ -99,8 +98,8 @@ def sssp_delta_stepping(
 
     bucket_idx = 0
     # Light-edge relaxations repeat an identical kernel sequence until the
-    # bucket settles; capture once, replay the rest as one graph launch.
-    graph = current_backend().kernel_graph("delta_stepping")
+    # bucket settles; the lazy optimizer (repro.lazy.capture) spots the
+    # repeated flush signature and aggregates the replays automatically.
     # Max useful bucket: longest shortest path < n · max weight.
     max_buckets = int(n * float(weights.max()) / delta) + 2
     while bucket_idx < max_buckets:
@@ -118,13 +117,12 @@ def sssp_delta_stepping(
         # Settle the bucket over light edges.
         settled = Vector.sparse(FP64, n)
         while frontier.nvals:
-            with graph.iteration():
-                improved = _relax(d, frontier, light)
-                # Improved vertices that fell into the current bucket re-relax.
-                frontier = _bucket(improved, lo, hi)
-                # Remember every bucket member for the heavy phase.
-                members = _bucket(d, lo, hi)
-                ops.ewise_add(settled, settled, members, MIN)
+            improved = _relax(d, frontier, light)
+            # Improved vertices that fell into the current bucket re-relax.
+            frontier = _bucket(improved, lo, hi)
+            # Remember every bucket member for the heavy phase.
+            members = _bucket(d, lo, hi)
+            ops.ewise_add(settled, settled, members, MIN)
         # One heavy relaxation from everything the bucket settled.
         if settled.nvals:
             _relax(d, settled, heavy)

@@ -14,7 +14,6 @@ from typing import Tuple
 
 import numpy as np
 
-from ..backends.dispatch import current_backend
 from ..core import operations as ops
 from ..core.assign import assign_scalar
 from ..core.descriptor import Descriptor
@@ -85,36 +84,36 @@ def pagerank(
     r = Vector.sparse(FP64, n)
     assign_scalar(r, 1.0 / n)
     teleport = (1.0 - damping) / n
-    # Every iteration dispatches the same kernel sequence; capture it once
-    # and replay it as a single graph launch (see repro.gpu.graph).
-    graph = current_backend().kernel_graph("pagerank")
+    # Every iteration flushes the same lazy tape; the optimizer captures
+    # the steady-state signature automatically (repro.lazy.capture) and
+    # replays it as aggregated graph launches — no manual capture scope.
     for _ in range(max_iter):
-        with graph.iteration():
-            # Mass parked on dangling vertices, redistributed uniformly.
-            dmass = 0.0
-            if dangling.nvals:
-                captured = Vector.sparse(FP64, n)
-                ops.ewise_mult(captured, r, dangling, TIMES)
-                dmass = float(ops.reduce(captured, PLUS_MONOID))
-            # Scale by 1/outdeg, then propagate along the raw adjacency:
-            # (r ⊙ d⁻¹)·A ≡ r·(D⁻¹A) without ever materialising the
-            # row-stochastic matrix (no setup mxm, no diagonal upload).
-            q = Vector.sparse(FP64, n)
-            ops.ewise_mult(q, r, inv, TIMES)
-            r_new = Vector.sparse(FP64, n)
-            ops.vxm(r_new, q, gf, PLUS_TIMES)
-            ops.apply(r_new, r_new, TIMES, bind_first=damping)
-            base = teleport + damping * dmass / n
-            # Device-side constant fill (one scatter kernel) instead of a
-            # host-built dense vector that would be re-uploaded every pass.
-            shifted = Vector.sparse(FP64, n)
-            assign_scalar(shifted, base)
-            ops.ewise_add(shifted, shifted, r_new, PLUS)
-            r_new = shifted
-            # L1 convergence check — |r_new − r| in one fused pass.
-            diff = Vector.sparse(FP64, n)
-            ewise_apply(diff, r_new, r, MINUS, ABS)
-            delta = float(ops.reduce(diff, PLUS_MONOID))
+        # Mass parked on dangling vertices, redistributed uniformly.
+        dmass = 0.0
+        if dangling.nvals:
+            captured = Vector.sparse(FP64, n)
+            ops.ewise_mult(captured, r, dangling, TIMES)
+            dmass = float(ops.reduce(captured, PLUS_MONOID))
+        # Scale by 1/outdeg, then propagate along the raw adjacency:
+        # (r ⊙ d⁻¹)·A ≡ r·(D⁻¹A) without ever materialising the
+        # row-stochastic matrix (no setup mxm, no diagonal upload).
+        q = Vector.sparse(FP64, n)
+        ops.ewise_mult(q, r, inv, TIMES)
+        r_new = Vector.sparse(FP64, n)
+        ops.vxm(r_new, q, gf, PLUS_TIMES)
+        ops.apply(r_new, r_new, TIMES, bind_first=damping)
+        base = teleport + damping * dmass / n
+        # Device-side constant fill instead of a host-built dense vector;
+        # under the fusing optimizer the fill never even materialises — it
+        # is generated inside the union-add kernel.
+        shifted = Vector.sparse(FP64, n)
+        assign_scalar(shifted, base)
+        ops.ewise_add(shifted, shifted, r_new, PLUS)
+        r_new = shifted
+        # L1 convergence check — |r_new − r| in one fused pass.
+        diff = Vector.sparse(FP64, n)
+        ewise_apply(diff, r_new, r, MINUS, ABS)
+        delta = float(ops.reduce(diff, PLUS_MONOID))
         r = r_new
         if delta < tol:
             break

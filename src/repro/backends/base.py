@@ -204,6 +204,73 @@ class Backend(ABC):
         new_frontier = merge_vector(frontier, t, new_levels, None, desc)
         return new_levels, new_frontier
 
+    def ewise_reduce_vector(
+        self,
+        u: SparseVector,
+        v: SparseVector,
+        binop: BinaryOp,
+        unop: Optional[UnaryOp],
+        union: bool,
+        monoid: Monoid,
+        out_type,
+    ) -> tuple:
+        """Elementwise combine (+ optional map), cast, and full fold.
+
+        Returns ``(t, value)``: the combined vector already cast to the
+        output's domain, and the monoid fold over its values.  The lazy
+        optimizer's ewise→reduce fusion targets this hook; the default
+        composes the abstract kernels (bit-identical to the separate ops),
+        while the simulated GPU runs the whole chain as one kernel so the
+        intermediate never round-trips through device memory.
+        """
+        if unop is not None:
+            t = self.ewise_apply_vector(u, v, binop, unop, union)
+        elif union:
+            t = self.ewise_add_vector(u, v, binop)
+        else:
+            t = self.ewise_mult_vector(u, v, binop)
+        t = t.astype(out_type)
+        return t, self.reduce_vector_scalar(t, monoid)
+
+    def fill_ewise_vector(
+        self,
+        value: Any,
+        size: int,
+        fill_type,
+        other: SparseVector,
+        binop: BinaryOp,
+        fill_first: bool,
+    ) -> SparseVector:
+        """Constant full-range fill combined elementwise (union) with ``other``.
+
+        Target of the lazy optimizer's fill→ewise fusion (the PageRank
+        ``assign_scalar; ewise_add`` teleport idiom).  The default
+        materialises the fill and composes; the simulated GPU generates the
+        constant in-register inside one kernel, so the dense fill vector is
+        never allocated on the device nor scattered by a separate launch.
+        """
+        fill = SparseVector(
+            size,
+            np.arange(size, dtype=np.int64),
+            np.full(size, fill_type.cast(value), dtype=fill_type.dtype),
+            fill_type,
+        )
+        if fill_first:
+            return self.ewise_add_vector(fill, other, binop)
+        return self.ewise_add_vector(other, fill, binop)
+
+    def sink_restrict(self, container: SparseVector, mask) -> SparseVector:
+        """Restrict an operand to a mask's stored index set (mask sinking).
+
+        The lazy optimizer calls this on the inputs of elementwise/apply
+        nodes whose output mask is non-complemented: entries the mask can
+        never admit are dropped *before* the kernel runs.  Identity by
+        default; the simulated GPU returns a restricted view so kernel work
+        scales with the mask instead of the operands.
+        """
+        del mask
+        return container
+
     # ------------------------------------------------------------------
     # Apply / select / reduce (hot path, abstract)
     # ------------------------------------------------------------------

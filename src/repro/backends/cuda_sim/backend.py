@@ -36,6 +36,7 @@ from ...gpu.device import Device, get_device
 from ...gpu.graph import KernelGraph, NullKernelGraph
 from ...gpu.kernel import Kernel, LaunchConfig, charge_transfer, launch
 from ...gpu.residency import RESIDENT_CAP, ResidentSet
+from .. import dispatch
 from ..base import Backend
 from ..cpu.spmv import choose_direction, mask_pull_rows
 from . import kernels
@@ -48,6 +49,8 @@ from .kernels import (
     EWISE_APPLY_FUSED_V,
     EWISE_MULT_M,
     EWISE_MULT_V,
+    EWISE_REDUCE_FUSED_V,
+    FILL_EWISE_FUSED_V,
     GATHER,
     REDUCE_ROWS,
     REDUCE_TREE,
@@ -93,6 +96,10 @@ class CudaSimBackend(Backend):
     def __init__(self, device: Optional[Device] = None) -> None:
         self._device = device
         self._resident = ResidentSet(self._dev)
+        # The lazy layer records against this backend in ``auto`` mode.
+        # Device-bound executors (multi-device shards) stay eager: their
+        # launches are driven inside another backend's operation.
+        self.lazy_by_default = device is None
 
     def _dev(self) -> Device:
         return self._device or get_device()
@@ -131,6 +138,9 @@ class CudaSimBackend(Backend):
 
     def evict_all(self) -> None:
         """Forget residency (e.g. between benchmark repetitions)."""
+        # Deferred work must run against the pre-eviction residency set,
+        # exactly as if every op had executed at its call site.
+        dispatch.sync_pending()
         self._resident.evict_all()
 
     # ------------------------------------------------------------------
@@ -356,6 +366,56 @@ class CudaSimBackend(Backend):
             device=self._dev(),
         )
         self._mark_resident(out)
+        return out
+
+    def ewise_reduce_vector(self, u, v, binop, unop, union, monoid, out_type):
+        """Elementwise(+apply) chain feeding a reduction — ONE launch.
+
+        Returns ``(t, val)``: the materialized elementwise result (the
+        handle the reduce's producer was recorded into still observes it)
+        and the already-cast scalar.
+        """
+        self._ensure_resident(u)
+        self._ensure_resident(v)
+        t, val = launch(
+            EWISE_REDUCE_FUSED_V,
+            LaunchConfig.cover(u.nvals + v.nvals),
+            u, v, binop, unop, union, monoid, out_type,
+            device=self._dev(),
+        )
+        self._mark_resident(t)
+        return t, val
+
+    def fill_ewise_vector(self, value, size, fill_type, other, binop, fill_first):
+        """Constant-fill operand consumed by a union ewise — ONE launch.
+
+        The dense fill never materializes: it is generated in registers, so
+        the scatter-assign launch and its container are both eliminated.
+        """
+        self._ensure_resident(other)
+        out = launch(
+            FILL_EWISE_FUSED_V,
+            LaunchConfig.cover(max(int(size), 1) + other.nvals),
+            value, size, fill_type, other, binop, fill_first,
+            device=self._dev(),
+        )
+        self._mark_resident(out)
+        return out
+
+    def sink_restrict(self, container, mask):
+        """Mask sinking: pre-restrict an input to the mask's stored indices.
+
+        Pure schedule decision — the restricted view is derived on-device
+        from resident operands (no launch, no transfer charged), and the
+        downstream merge re-filters exactly.
+        """
+        if mask is None:
+            return container
+        self._ensure_resident(container)
+        self._ensure_resident(mask)
+        out = kernels.mask_restrict(container, mask)
+        if out is not container:
+            self._mark_resident(out)
         return out
 
     def ewise_apply_matrix(self, a, b, binop, unop, union=True):

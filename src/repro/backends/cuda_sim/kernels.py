@@ -45,6 +45,7 @@ from ..cpu.spmv import row_gather_product, scatter_product, take_ranges
 __all__ = [
     "combine_coalescing",
     "laned",
+    "mask_restrict",
     "push_lane",
     "pull_lane",
     "spgemm_lane",
@@ -59,6 +60,8 @@ __all__ = [
     "EWISE_MULT_M",
     "EWISE_APPLY_FUSED_V",
     "EWISE_APPLY_FUSED_M",
+    "EWISE_REDUCE_FUSED_V",
+    "FILL_EWISE_FUSED_V",
     "APPLY_V",
     "APPLY_M",
     "REDUCE_TREE",
@@ -437,6 +440,105 @@ EWISE_APPLY_FUSED_V = Kernel(
 )
 EWISE_APPLY_FUSED_M = Kernel(
     "ewise_apply_fused_m", _ewise_apply_run_m, _ewise_apply_work, accesses=_reads_all
+)
+
+
+# ---------------------------------------------------------------------------
+# Lazy-optimizer fused kernels — elementwise chains collapsed to one launch
+# ---------------------------------------------------------------------------
+
+
+def mask_restrict(container: SparseVector, mask: SparseVector) -> SparseVector:
+    """Restrict ``container`` to the stored indices of ``mask``.
+
+    Used by mask sinking: the stored-index set is a superset of the
+    mask-true positions, and the downstream merge re-filters exactly, so
+    the restriction is value-safe for non-complemented masks regardless of
+    accumulator or replace.  Returns ``container`` unchanged when the
+    restriction cannot shrink it (sinking then costs nothing).
+    """
+    if mask.nvals >= container.nvals or container.nvals == 0:
+        return container
+    keep = np.isin(container.indices, mask.indices)
+    if keep.all():
+        return container
+    return SparseVector(
+        container.size, container.indices[keep], container.values[keep], container.type
+    )
+
+
+def _ewise_reduce_run_v(u, v, binop, unop, union, monoid, out_type):
+    t = ewise_add_vec(u, v, binop) if union else ewise_mult_vec(u, v, binop)
+    if unop is not None:
+        t = apply_vec(t, unop)
+    # Cast to the destination type *inside* the kernel: the eager pipeline
+    # reduces the merged (already-cast) container, so reducing pre-cast
+    # values would diverge bitwise on domain-narrowing outputs.
+    t = t.astype(out_type)
+    val = monoid.result_type(t.type).cast(monoid.reduce_array(t.values, t.type))
+    return t, val
+
+
+def _ewise_reduce_work(u, v, binop, unop, union, monoid, out_type) -> KernelWork:
+    n = float(u.nvals + v.nvals)
+    n_out = n if union else float(min(u.nvals, v.nvals))
+    item = max(u.type.nbytes, v.type.nbytes)
+    reads, coal = combine_coalescing([(n * (item + _IDX), "sequential")])
+    # The separate ewise + reduce_tree pair writes the intermediate and
+    # immediately re-reads it (2·n_out·item in the tree's first pass);
+    # fusing keeps partials in registers/shared memory, so only the ewise
+    # input traffic and the block-level reduction partials remain.
+    flops = n + n_out + (n_out if unop is not None else 0.0)
+    return KernelWork(
+        flops=flops,
+        bytes_read=reads,
+        bytes_written=n_out * (item + _IDX)
+        + max(n_out / 256.0, 1.0) * out_type.nbytes,
+        threads=max(int(n), 1),
+        divergence=1.0,
+        coalescing=coal,
+    )
+
+
+EWISE_REDUCE_FUSED_V = Kernel(
+    "ewise_reduce_fused_v", _ewise_reduce_run_v, _ewise_reduce_work, accesses=_reads_all
+)
+
+
+def _fill_ewise_run_v(value, size, fill_type, other, binop, fill_first):
+    # The fill operand is generated in registers — a dense constant vector
+    # never touches device memory as a standalone container.
+    fill = SparseVector(
+        int(size),
+        np.arange(int(size), dtype=np.int64),
+        np.full(int(size), fill_type.cast(value), dtype=fill_type.dtype),
+        fill_type,
+    )
+    if fill_first:
+        return ewise_add_vec(fill, other, binop)
+    return ewise_add_vec(other, fill, binop)
+
+
+def _fill_ewise_work(value, size, fill_type, other, binop, fill_first) -> KernelWork:
+    n = float(size)
+    m = float(other.nvals)
+    item = max(fill_type.nbytes, other.type.nbytes)
+    reads, coal = combine_coalescing([(m * (item + _IDX), "sequential")])
+    # Eager would scatter-assign n fill entries, then stream n+m entries
+    # through the union; fused, the constant operand costs no memory
+    # traffic at all — only the sparse operand is read.
+    return KernelWork(
+        flops=n + m,
+        bytes_read=reads,
+        bytes_written=n * (item + _IDX),
+        threads=max(int(n), 1),
+        divergence=1.0,
+        coalescing=coal,
+    )
+
+
+FILL_EWISE_FUSED_V = Kernel(
+    "fill_ewise_fused_v", _fill_ewise_run_v, _fill_ewise_work, accesses=_reads_all
 )
 
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from typing import Callable, Dict, Iterator, Union
+from typing import Callable, Dict, Iterator, Optional, Union
 
 from .base import Backend
 
@@ -26,6 +26,7 @@ __all__ = [
     "current_backend",
     "use_backend",
     "available_backends",
+    "set_sync_hook",
 ]
 
 _FACTORIES: Dict[str, Callable[[], Backend]] = {}
@@ -33,6 +34,31 @@ _INSTANCES: Dict[str, Backend] = {}
 _LOCK = threading.Lock()
 _STATE = threading.local()
 _DEFAULT_NAME = "cpu"
+_SYNC_HOOK: Optional[Callable[[], None]] = None
+
+
+def set_sync_hook(hook: Optional[Callable[[], None]]) -> None:
+    """Install a barrier run when a ``use_backend`` scope exits.
+
+    The lazy evaluation layer (:mod:`repro.lazy`) registers its ``wait``
+    here so that work recorded against a backend is forced *while that
+    backend is still current* — pending operations never leak across a
+    backend switch.
+    """
+    global _SYNC_HOOK
+    _SYNC_HOOK = hook
+
+
+def sync_pending() -> None:
+    """Force any lazily recorded work now (no-op without a hook).
+
+    Backends call this before state mutations whose effect depends on
+    which operations have already executed — e.g. evicting device
+    buffers — so deferred work observes the pre-mutation state.
+    """
+    hook = _SYNC_HOOK
+    if hook is not None:
+        hook()
 
 
 def register_backend(name: str, factory: Callable[[], Backend]) -> None:
@@ -112,4 +138,8 @@ def use_backend(backend: Union[str, Backend]) -> Iterator[Backend]:
     try:
         yield inst
     finally:
+        hook = _SYNC_HOOK
+        if hook is not None:
+            # Force lazily recorded work before the backend goes away.
+            hook()
         stack.pop()

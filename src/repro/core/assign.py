@@ -24,6 +24,7 @@ from ..backends.dispatch import current_backend
 from ..containers.csr import CSRMatrix
 from ..containers.sparsevec import SparseVector
 from ..exceptions import DimensionMismatchError, IndexOutOfBoundsError, InvalidValueError
+from ..lazy import schedule as _lz
 from .accumulate import _note_result
 from .descriptor import DEFAULT, Descriptor
 from .mask import flat_keys, matrix_mask_at, vector_mask_at
@@ -38,6 +39,14 @@ __all__ = [
     "assign_col",
     "merge_region_vector",
 ]
+
+
+def _check_mask_v(mask, size: int) -> None:
+    """Eager mask-shape validation (the region merge runs deferred)."""
+    if mask is not None and mask.size != size:
+        raise DimensionMismatchError(
+            "mask shape", expected=(size,), actual=(mask.size,)
+        )
 
 
 def _index_array(idx, dim: int, what: str) -> np.ndarray:
@@ -178,18 +187,33 @@ def assign(
             raise DimensionMismatchError(
                 "assign source size", expected=idx.size, actual=src.size
             )
-        sc = src.container
-        current_backend().charge_assign(sc.nvals, out)
-        return out._replace(
-            _note_result(_merge_region_vector(
-                out.container,
+        _check_mask_v(mask, out.size)
+        be = current_backend()
+        region = np.sort(idx)
+
+        def run(inp, params):
+            sc = inp["src"]
+            be.charge_assign(sc.nvals, inp["out"])
+            return _note_result(_merge_region_vector(
+                inp["out"],
                 idx[sc.indices],
                 sc.values,
-                np.sort(idx),
-                mask.container if mask is not None else None,
+                region,
+                inp.get("mask"),
                 accum,
                 desc,
             ))
+
+        return _lz.emit(
+            "assign_v",
+            run,
+            {
+                "src": _lz.arg(src),
+                "mask": _lz.arg_mask(mask),
+                "out": _lz.arg(out),
+            },
+            {"desc": desc},
+            (out,),
         )
     r = _index_array(indices, out.nrows, "row")
     s = _index_array(cols, out.ncols, "column")
@@ -230,18 +254,37 @@ def assign_scalar(
     """
     if isinstance(out, Vector):
         idx = _index_array(indices, out.size, "target")
+        _check_mask_v(mask, out.size)
         vals = np.full(idx.size, out.type.cast(value), dtype=out.type.dtype)
-        current_backend().charge_assign(idx.size, out)
-        return out._replace(
-            _note_result(_merge_region_vector(
-                out.container,
+        be = current_backend()
+        region = np.sort(idx)
+        # A full-region unmasked, unaccumulated fill overwrites every
+        # position: the result is independent of the prior values, which is
+        # what lets the optimizer treat the fill as a pure constant source
+        # (dead-materialization + fill→ewise fusion).
+        fill = indices is None and mask is None and accum is None
+
+        def run(inp, params):
+            be.charge_assign(idx.size, inp["out"])
+            return _note_result(_merge_region_vector(
+                inp["out"],
                 idx.copy(),
                 vals,
-                np.sort(idx),
-                mask.container if mask is not None else None,
+                region,
+                inp.get("mask"),
                 accum,
                 desc,
             ))
+
+        return _lz.emit(
+            "assign_scalar_v",
+            run,
+            {
+                "mask": _lz.arg_mask(mask),
+                "out": out._container if fill else _lz.arg(out),
+            },
+            {"fill": fill, "value": value, "n": out.size, "desc": desc},
+            (out,),
         )
     r = _index_array(indices, out.nrows, "row")
     s = _index_array(cols, out.ncols, "column")

@@ -17,6 +17,7 @@ from typing import Optional
 
 from ..backends.dispatch import current_backend
 from ..exceptions import DimensionMismatchError
+from ..lazy import schedule as _lz
 from .accumulate import merge_matrix, merge_vector
 from .descriptor import DEFAULT, Descriptor
 from .matrix import Matrix
@@ -53,9 +54,36 @@ def ewise_apply(
     if isinstance(out, Vector):
         _require(a.size == b.size, "ewise input sizes", a.size, b.size)
         _require(out.size == a.size, "output size", a.size, out.size)
-        t = be.ewise_apply_vector(a.container, b.container, binop, unop, union)
-        mc = mask.container if mask is not None else None
-        return out._replace(merge_vector(out.container, t, mc, accum, desc))
+        if mask is not None:
+            _require(mask.size == out.size, "mask shape", (out.size,), (mask.size,))
+
+        def run(inp, params):
+            x, y = inp["a"], inp["b"]
+            if params.get("sink"):
+                x = be.sink_restrict(x, inp.get("mask"))
+                y = be.sink_restrict(y, inp.get("mask"))
+            t = be.ewise_apply_vector(x, y, binop, unop, union)
+            return merge_vector(inp["out"], t, inp.get("mask"), accum, desc)
+
+        return _lz.emit(
+            "ewise_apply_v",
+            run,
+            {
+                "a": _lz.arg(a),
+                "b": _lz.arg(b),
+                "mask": _lz.arg_mask(mask),
+                "out": _lz.out_arg(out, mask, accum),
+            },
+            {
+                "binop": binop,
+                "unop": unop,
+                "union": union,
+                "trivial": mask is None and accum is None,
+                "accum": accum,
+                "desc": desc,
+            },
+            (out,),
+        )
     _require(a.shape == b.shape, "ewise input shapes", a.shape, b.shape)
     _require(out.shape == a.shape, "output shape", a.shape, out.shape)
     t = be.ewise_apply_matrix(a.container, b.container, binop, unop, union)
@@ -82,16 +110,30 @@ def frontier_step(
     _require(g.nrows == g.ncols, "square adjacency", g.nrows, g.ncols)
     _require(frontier.size == g.nrows, "frontier size", g.nrows, frontier.size)
     _require(levels.size == g.nrows, "levels size", g.nrows, levels.size)
-    new_levels, new_frontier = current_backend().frontier_step(
-        levels.container,
-        frontier.container,
-        g.container,
-        value,
-        semiring,
-        desc,
-        direction,
-        g.csc(),
+    be = current_backend()
+    csc = g.csc()
+
+    def run(inp, params):
+        return be.frontier_step(
+            inp["levels"],
+            inp["frontier"],
+            inp["a"],
+            value,
+            semiring,
+            desc,
+            params["direction"],
+            csc,
+        )
+
+    _lz.emit(
+        "frontier_step",
+        run,
+        {
+            "levels": _lz.arg(levels),
+            "frontier": _lz.arg(frontier),
+            "a": g.container,
+        },
+        {"direction": direction, "semiring": semiring, "desc": desc},
+        (levels, frontier),
     )
-    levels._replace(new_levels)
-    frontier._replace(new_frontier)
     return levels, frontier

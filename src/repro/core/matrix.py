@@ -154,6 +154,12 @@ class Matrix:
     def _invalidate(self) -> None:
         self._csc = None
 
+    def _settle(self) -> None:
+        """Barrier before mutation: recorded lazy ops may read us."""
+        from ..lazy import schedule
+
+        schedule.sync()
+
     def build(
         self,
         rows: Iterable[int],
@@ -162,6 +168,7 @@ class Matrix:
         dup: Optional[BinaryOp] = None,
     ) -> "Matrix":
         """``GrB_Matrix_build``: populate an empty matrix from triplets."""
+        self._settle()
         if self.nvals:
             raise OutputNotEmptyError("build target must be empty")
         r = np.asarray(list(rows) if not isinstance(rows, np.ndarray) else rows, dtype=np.int64)
@@ -173,6 +180,7 @@ class Matrix:
 
     def set_element(self, i: int, j: int, value: Any) -> "Matrix":
         """Insert or overwrite one element (``GrB_Matrix_setElement``)."""
+        self._settle()
         m = self._container
         value = self.type.cast(value)
         if not (0 <= i < m.nrows and 0 <= j < m.ncols):
@@ -204,6 +212,7 @@ class Matrix:
 
     def remove_element(self, i: int, j: int) -> "Matrix":
         """Delete one element if present."""
+        self._settle()
         m = self._container
         if not (0 <= i < m.nrows and 0 <= j < m.ncols):
             from ..exceptions import IndexOutOfBoundsError
@@ -227,6 +236,7 @@ class Matrix:
 
     def clear(self) -> "Matrix":
         """Drop all stored entries, keeping shape and domain."""
+        self._settle()
         self._container = CSRMatrix.empty(self.nrows, self.ncols, self.type)
         self._invalidate()
         return self

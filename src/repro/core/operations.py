@@ -16,6 +16,12 @@ The function validates shapes, resolves descriptor transposes against the
 Matrix's cached column view, calls the active backend's kernel for the raw
 result ``T``, and finishes with the shared write pipeline
 (:mod:`repro.core.accumulate`).
+
+Vector-valued operations route their backend call + merge through a *run
+closure* handed to :mod:`repro.lazy.schedule`: under lazy evaluation the
+closure is recorded on the tape (validation still happens eagerly, at call
+time), otherwise it executes on the spot — the eager path is the identical
+code minus the tape.  Matrix-valued operations stay eager.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from ..containers.csc import CSCMatrix
 from ..containers.csr import CSRMatrix
 from ..containers.sparsevec import SparseVector
 from ..exceptions import DimensionMismatchError, DomainMismatchError, InvalidValueError
+from ..lazy import schedule as _lz
 from ..types import BOOL, GrBType
 from .accumulate import merge_matrix, merge_vector
 from .descriptor import DEFAULT, Descriptor
@@ -80,6 +87,19 @@ def _mask_cont(mask):
     if mask is None:
         return None
     return mask.container
+
+
+def _check_mask_v(mask, size: int) -> None:
+    """Eager mask-shape validation for deferred vector ops.
+
+    The merge (where :func:`~repro.core.mask.check_mask_shape` runs) is
+    deferred to flush time under the lazy layer; the user-facing dimension
+    error must still fire at the call site.
+    """
+    if mask is not None and mask.size != size:
+        raise DimensionMismatchError(
+            "mask shape", expected=(size,), actual=(mask.size,)
+        )
 
 
 def _require(cond: bool, what: str, expected, actual) -> None:
@@ -155,16 +175,30 @@ def mxv(
     ac = _mat_input(a, desc.transpose_a)
     _require(ac.ncols == u.size, "A.ncols vs u.size", ac.ncols, u.size)
     _require(w.size == ac.nrows, "output size", ac.nrows, w.size)
-    t = current_backend().mxv(
-        ac,
-        u.container,
-        semiring,
-        _mask_cont(mask),
-        _clean(desc),
-        direction,
-        csc=_csc_hint(a, desc.transpose_a),
+    _check_mask_v(mask, w.size)
+    be = current_backend()
+    cdesc = _clean(desc)
+    csc = _csc_hint(a, desc.transpose_a)
+
+    def run(inp, params):
+        t = be.mxv(
+            inp["a"], inp["u"], semiring, inp.get("mask"), cdesc,
+            params["direction"], csc=csc,
+        )
+        return merge_vector(inp["out"], t, inp.get("mask"), accum, desc)
+
+    return _lz.emit(
+        "mxv",
+        run,
+        {
+            "a": ac,
+            "u": _lz.arg(u),
+            "mask": _lz.arg_mask(mask),
+            "out": _lz.out_arg(w, mask, accum),
+        },
+        {"direction": direction, "semiring": semiring, "desc": cdesc},
+        (w,),
     )
-    return w._replace(merge_vector(w.container, t, _mask_cont(mask), accum, desc))
 
 
 def vxm(
@@ -181,16 +215,30 @@ def vxm(
     ac = _mat_input(a, desc.transpose_a)
     _require(ac.nrows == u.size, "u.size vs A.nrows", ac.nrows, u.size)
     _require(w.size == ac.ncols, "output size", ac.ncols, w.size)
-    t = current_backend().vxm(
-        u.container,
-        ac,
-        semiring,
-        _mask_cont(mask),
-        _clean(desc),
-        direction,
-        csc=_csc_hint(a, desc.transpose_a),
+    _check_mask_v(mask, w.size)
+    be = current_backend()
+    cdesc = _clean(desc)
+    csc = _csc_hint(a, desc.transpose_a)
+
+    def run(inp, params):
+        t = be.vxm(
+            inp["u"], inp["a"], semiring, inp.get("mask"), cdesc,
+            params["direction"], csc=csc,
+        )
+        return merge_vector(inp["out"], t, inp.get("mask"), accum, desc)
+
+    return _lz.emit(
+        "vxm",
+        run,
+        {
+            "a": ac,
+            "u": _lz.arg(u),
+            "mask": _lz.arg_mask(mask),
+            "out": _lz.out_arg(w, mask, accum),
+        },
+        {"direction": direction, "semiring": semiring, "desc": cdesc},
+        (w,),
     )
-    return w._replace(merge_vector(w.container, t, _mask_cont(mask), accum, desc))
 
 
 # ---------------------------------------------------------------------------
@@ -212,9 +260,36 @@ def _ewise(
     if isinstance(out, Vector):
         _require(a.size == b.size, "operand sizes", a.size, b.size)
         _require(out.size == a.size, "output size", a.size, out.size)
-        kern = be.ewise_add_vector if union else be.ewise_mult_vector
-        t = kern(a.container, b.container, op)
-        return out._replace(merge_vector(out.container, t, _mask_cont(mask), accum, desc))
+        _check_mask_v(mask, out.size)
+
+        def run(inp, params):
+            x, y = inp["a"], inp["b"]
+            if params.get("sink"):
+                x = be.sink_restrict(x, inp.get("mask"))
+                y = be.sink_restrict(y, inp.get("mask"))
+            kern = be.ewise_add_vector if union else be.ewise_mult_vector
+            t = kern(x, y, op)
+            return merge_vector(inp["out"], t, inp.get("mask"), accum, desc)
+
+        return _lz.emit(
+            "ewise_add_v" if union else "ewise_mult_v",
+            run,
+            {
+                "a": _lz.arg(a),
+                "b": _lz.arg(b),
+                "mask": _lz.arg_mask(mask),
+                "out": _lz.out_arg(out, mask, accum),
+            },
+            {
+                "binop": op,
+                "unop": None,
+                "union": union,
+                "trivial": mask is None and accum is None,
+                "accum": accum,
+                "desc": desc,
+            },
+            (out,),
+        )
     _require(a.shape == b.shape, "operand shapes", a.shape, b.shape)
     ac = _mat_input(a, desc.transpose_a)
     bc = _mat_input(b, desc.transpose_b)
@@ -301,11 +376,43 @@ def apply(
         _check_domain(op, src.type)
     if isinstance(out, Vector):
         _require(out.size == src.size, "output size", src.size, out.size)
+        _check_mask_v(mask, out.size)
         if isinstance(op, IndexUnaryOp):
-            t = be.apply_indexop_vector(src.container, op, thunk)
-        else:
-            t = be.apply_vector(src.container, op)
-        return out._replace(merge_vector(out.container, t, _mask_cont(mask), accum, desc))
+
+            def run_iop(inp, params):
+                t = be.apply_indexop_vector(inp["src"], op, thunk)
+                return merge_vector(inp["out"], t, inp.get("mask"), accum, desc)
+
+            return _lz.emit(
+                "apply_iop_v",
+                run_iop,
+                {
+                    "src": _lz.arg(src),
+                    "mask": _lz.arg_mask(mask),
+                    "out": _lz.out_arg(out, mask, accum),
+                },
+                {"iop": op, "desc": desc},
+                (out,),
+            )
+
+        def run(inp, params):
+            s = inp["src"]
+            if params.get("sink"):
+                s = be.sink_restrict(s, inp.get("mask"))
+            t = be.apply_vector(s, op)
+            return merge_vector(inp["out"], t, inp.get("mask"), accum, desc)
+
+        return _lz.emit(
+            "apply_v",
+            run,
+            {
+                "src": _lz.arg(src),
+                "mask": _lz.arg_mask(mask),
+                "out": _lz.out_arg(out, mask, accum),
+            },
+            {"unop": op, "accum": accum, "desc": desc},
+            (out,),
+        )
     sc = _mat_input(src, desc.transpose_a)
     _require(out.shape == sc.shape, "output shape", sc.shape, out.shape)
     if isinstance(op, IndexUnaryOp):
@@ -328,8 +435,23 @@ def select(
     be = current_backend()
     if isinstance(out, Vector):
         _require(out.size == src.size, "output size", src.size, out.size)
-        t = be.select_vector(src.container, op, thunk)
-        return out._replace(merge_vector(out.container, t, _mask_cont(mask), accum, desc))
+        _check_mask_v(mask, out.size)
+
+        def run(inp, params):
+            t = be.select_vector(inp["src"], op, thunk)
+            return merge_vector(inp["out"], t, inp.get("mask"), accum, desc)
+
+        return _lz.emit(
+            "select_v",
+            run,
+            {
+                "src": _lz.arg(src),
+                "mask": _lz.arg_mask(mask),
+                "out": _lz.out_arg(out, mask, accum),
+            },
+            {"iop": op, "desc": desc},
+            (out,),
+        )
     sc = _mat_input(src, desc.transpose_a)
     _require(out.shape == sc.shape, "output shape", sc.shape, out.shape)
     t = be.select_matrix(sc, op, thunk)
@@ -354,7 +476,13 @@ def reduce(
     """
     be = current_backend()
     if isinstance(src, Vector):
-        val = be.reduce_vector_scalar(src.container, monoid)
+
+        def run(inp, params):
+            return be.reduce_vector_scalar(inp["src"], monoid)
+
+        val = _lz.emit_scalar(
+            "reduce_v", run, {"src": _lz.arg(src)}, {"monoid": monoid}
+        )
     else:
         val = be.reduce_matrix_scalar(src.container, monoid)
     if out is not None:
@@ -376,8 +504,24 @@ def reduce_to_vector(
     """``w<mask> accum= row-reduce(A)`` (transpose_a folds columns)."""
     ac = _mat_input(a, desc.transpose_a)
     _require(w.size == ac.nrows, "output size", ac.nrows, w.size)
-    t = current_backend().reduce_matrix_vector(ac, monoid)
-    return w._replace(merge_vector(w.container, t, _mask_cont(mask), accum, desc))
+    _check_mask_v(mask, w.size)
+    be = current_backend()
+
+    def run(inp, params):
+        t = be.reduce_matrix_vector(inp["a"], monoid)
+        return merge_vector(inp["out"], t, inp.get("mask"), accum, desc)
+
+    return _lz.emit(
+        "reduce_mv",
+        run,
+        {
+            "a": ac,
+            "mask": _lz.arg_mask(mask),
+            "out": _lz.out_arg(w, mask, accum),
+        },
+        {"monoid": monoid, "desc": desc},
+        (w,),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -455,8 +599,24 @@ def extract(
     """``w<mask> accum= u(indices)`` (GrB_Vector_extract)."""
     idx = _index_array(indices, u.size)
     _require(w.size == idx.size, "output size", idx.size, w.size)
-    t = current_backend().extract_vector(u.container, idx)
-    return w._replace(merge_vector(w.container, t, _mask_cont(mask), accum, desc))
+    _check_mask_v(mask, w.size)
+    be = current_backend()
+
+    def run(inp, params):
+        t = be.extract_vector(inp["u"], idx)
+        return merge_vector(inp["out"], t, inp.get("mask"), accum, desc)
+
+    return _lz.emit(
+        "extract_v",
+        run,
+        {
+            "u": _lz.arg(u),
+            "mask": _lz.arg_mask(mask),
+            "out": _lz.out_arg(w, mask, accum),
+        },
+        {"desc": desc},
+        (w,),
+    )
 
 
 def extract_submatrix(
@@ -499,8 +659,24 @@ def extract_col(
     col = matrix_row_as_vector(src, j)
     idx = _index_array(rows, col.size)
     _require(w.size == idx.size, "output size", idx.size, w.size)
-    t = current_backend().extract_vector(col, idx)
-    return w._replace(merge_vector(w.container, t, _mask_cont(mask), accum, desc))
+    _check_mask_v(mask, w.size)
+    be = current_backend()
+
+    def run(inp, params):
+        t = be.extract_vector(inp["u"], idx)
+        return merge_vector(inp["out"], t, inp.get("mask"), accum, desc)
+
+    return _lz.emit(
+        "extract_v",
+        run,
+        {
+            "u": col,
+            "mask": _lz.arg_mask(mask),
+            "out": _lz.out_arg(w, mask, accum),
+        },
+        {"desc": desc},
+        (w,),
+    )
 
 
 def extract_row(

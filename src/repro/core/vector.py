@@ -26,12 +26,37 @@ __all__ = ["Vector"]
 
 
 class Vector:
-    """A sparse GraphBLAS vector of fixed size and domain."""
+    """A sparse GraphBLAS vector of fixed size and domain.
 
-    __slots__ = ("_container",)
+    Under lazy evaluation (:mod:`repro.lazy`) a handle may carry a pending
+    recorded value in ``_lazy``; reading anything value-dependent (entries,
+    ``nvals``, exports, equality) forces the tape first.  ``size`` and
+    ``type`` are invariant under replacement and never force.
+    """
+
+    __slots__ = ("_container", "_lazy", "__weakref__")
 
     def __init__(self, container: SparseVector):
         self._container = container
+        self._lazy = None
+
+    def _force(self) -> SparseVector:
+        """Materialise a pending lazy value; returns the current container."""
+        lv = self._lazy
+        if lv is not None:
+            from ..lazy import schedule
+
+            c = schedule.force(lv)
+            if self._lazy is lv:
+                self._container = c
+                self._lazy = None
+        return self._container
+
+    def _settle(self) -> None:
+        """Barrier before in-place mutation: recorded ops may read us."""
+        from ..lazy import schedule
+
+        schedule.sync()
 
     # ------------------------------------------------------------------
     # Constructors
@@ -74,7 +99,7 @@ class Vector:
 
     def dup(self) -> "Vector":
         """Deep copy (``GrB_Vector_dup``)."""
-        return Vector(self._container.copy())
+        return Vector(self._force().copy())
 
     # ------------------------------------------------------------------
     # Introspection
@@ -82,7 +107,7 @@ class Vector:
 
     @property
     def container(self) -> SparseVector:
-        return self._container
+        return self._force()
 
     @property
     def size(self) -> int:
@@ -90,7 +115,7 @@ class Vector:
 
     @property
     def nvals(self) -> int:
-        return self._container.nvals
+        return self._force().nvals
 
     @property
     def type(self) -> GrBType:
@@ -98,11 +123,11 @@ class Vector:
 
     def get(self, i: int, default: Optional[Any] = None) -> Any:
         """Element at ``i`` or ``default`` when implicit."""
-        v = self._container.get(i)
+        v = self._force().get(i)
         return default if v is None else v
 
     def __getitem__(self, i: int) -> Any:
-        v = self._container.get(i)
+        v = self._force().get(i)
         if v is None:
             raise EmptyObjectError(f"no stored value at index {i}")
         return v
@@ -111,7 +136,7 @@ class Vector:
         self.set_element(i, value)
 
     def __contains__(self, i: int) -> bool:
-        return self._container.get(i) is not None
+        return self._force().get(i) is not None
 
     def __len__(self) -> int:
         return self.size
@@ -127,6 +152,7 @@ class Vector:
         dup: Optional[BinaryOp] = None,
     ) -> "Vector":
         """``GrB_Vector_build``: populate an empty vector from lists."""
+        self._settle()
         if self.nvals:
             raise OutputNotEmptyError("build target must be empty")
         idx = np.asarray(list(indices) if not isinstance(indices, np.ndarray) else indices, dtype=np.int64)
@@ -136,6 +162,7 @@ class Vector:
 
     def set_element(self, i: int, value: Any) -> "Vector":
         """Insert or overwrite one element (``GrB_Vector_setElement``)."""
+        self._settle()
         c = self._container
         value = self.type.cast(value)
         k = int(np.searchsorted(c.indices, i))
@@ -159,6 +186,7 @@ class Vector:
 
     def remove_element(self, i: int) -> "Vector":
         """Delete one element if present (``GrB_Vector_removeElement``)."""
+        self._settle()
         c = self._container
         k = int(np.searchsorted(c.indices, i))
         if k < c.nvals and c.indices[k] == i:
@@ -169,11 +197,13 @@ class Vector:
 
     def clear(self) -> "Vector":
         """Drop all stored entries, keeping size and domain."""
+        self._settle()
         self._container = SparseVector.empty(self.size, self.type)
         return self
 
     def resize(self, size: int) -> "Vector":
         """Grow or shrink; entries beyond a smaller size are dropped."""
+        self._settle()
         c = self._container
         if size < c.size:
             keep = c.indices < size
@@ -197,19 +227,19 @@ class Vector:
 
     def to_lists(self) -> Tuple[List[int], List[Any]]:
         """(indices, values) as Python lists (``extractTuples``)."""
-        c = self._container
+        c = self._force()
         return list(map(int, c.indices)), list(c.values)
 
     def to_dense(self, fill: Any = 0) -> np.ndarray:
-        return self._container.to_dense(fill)
+        return self._force().to_dense(fill)
 
     def indices_array(self) -> np.ndarray:
         """Stored indices (read-only convention)."""
-        return self._container.indices
+        return self._force().indices
 
     def values_array(self) -> np.ndarray:
         """Stored values (read-only convention)."""
-        return self._container.values
+        return self._force().values
 
     # ------------------------------------------------------------------
     # Operator sugar (allocating convenience wrappers over operations)
@@ -250,7 +280,7 @@ class Vector:
         """Structural + value equality (same size, entries, domain kind)."""
         if not isinstance(other, Vector):
             return NotImplemented
-        a, b = self._container, other._container
+        a, b = self._force(), other._force()
         return (
             a.size == b.size
             and a.nvals == b.nvals

@@ -146,7 +146,7 @@ class SimCluster:
         per_dev_bytes = nbytes / self.nparts
         for s, d in zip(self.streams, self.devices):
             s.enqueue(duration_us)
-            d.profiler.record(
+            d._profiler.record(
                 LaunchRecord(
                     name=f"comm_{primitive}",
                     kind="comm",

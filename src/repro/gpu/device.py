@@ -28,7 +28,21 @@ __all__ = [
     "P100",
     "V100",
     "set_device",
+    "set_observe_hook",
 ]
+
+# Observation hook installed by repro.lazy (None when lazy is not imported).
+# Reading ``Device.profiler`` is an *observation point*: pending lazy work
+# must be forced and open loop-capture aggregates closed before the counters
+# are meaningful.  The hook receives "observe" (profiler read) or "reset"
+# (device reset — pending accounting is discarded with the profiler).
+_OBSERVE_HOOK = None
+
+
+def set_observe_hook(hook) -> None:
+    """Install the lazy-evaluation observation hook (see repro.lazy)."""
+    global _OBSERVE_HOOK
+    _OBSERVE_HOOK = hook
 
 
 @dataclass(frozen=True)
@@ -96,11 +110,29 @@ class Device:
         self.props = props
         self.allocator = DeviceAllocator(props.global_mem_bytes)
         self.cost_model = CostModel(props)
-        self.profiler = Profiler()
+        self._profiler = Profiler()
         self.clock_us = 0.0
         # Kernel graph currently capturing/replaying launches (see
         # repro.gpu.graph); None outside graph iteration scopes.
         self.active_graph = None
+        # H2D payload discounts registered by the lazy optimizer's
+        # dead-materialization pass: (id(container), version) -> bytes the
+        # upload may skip (iso-valued payloads filled on-device instead of
+        # copied).  Consulted by ResidentSet.ensure; cleared on reset.
+        self.h2d_hints = {}
+
+    @property
+    def profiler(self):
+        """The device profiler; reading it is an observation point.
+
+        Under lazy evaluation (repro.lazy) the counters are only complete
+        once the pending op tape is forced and open loop-capture aggregates
+        are committed; the hook does both (and is reentrancy-guarded, so
+        launches recorded *during* the forced flush go straight through).
+        """
+        if _OBSERVE_HOOK is not None:
+            _OBSERVE_HOOK("observe")
+        return self._profiler
 
     def advance(self, dt_us: float) -> float:
         """Advance the simulated clock; returns the new time."""
@@ -113,15 +145,20 @@ class Device:
         """Clear clock, profiler, and allocations (between benchmark runs)."""
         from ..sanitizer import runtime as _gbsan
 
+        if _OBSERVE_HOOK is not None:
+            # Discard pending lazy accounting alongside the profiler it
+            # would have landed in (a reset abandons the measurement).
+            _OBSERVE_HOOK("reset")
         san = _gbsan.ACTIVE
         if san is not None:
             # Leak report: buffers still allocated that no resident set
             # references would never be freed by a real driver at this point.
             san.on_device_reset(self)
         self.allocator.reset()
-        self.profiler.reset()
+        self._profiler.reset()
         self.clock_us = 0.0
         self.active_graph = None
+        self.h2d_hints.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

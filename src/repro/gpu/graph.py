@@ -170,7 +170,7 @@ class KernelGraph:
             dt = overhead + busy_total
             start = dev.clock_us
             dev.advance(dt)
-            dev.profiler.record(
+            dev._profiler.record(
                 LaunchRecord(
                     name=f"{REPLAY_PREFIX}{self.name}]",
                     kind="kernel",
@@ -196,7 +196,7 @@ class KernelGraph:
             dt = overhead + busy
             start = dev.clock_us
             dev.advance(dt)
-            dev.profiler.record(
+            dev._profiler.record(
                 LaunchRecord(
                     name=rec_name,
                     kind="kernel",

@@ -151,7 +151,7 @@ def launch(
     else:
         start = dev.clock_us
         dev.advance(dt)
-    dev.profiler.record(
+    dev._profiler.record(
         LaunchRecord(
             name=kernel.display_name,
             kind="kernel",
@@ -183,7 +183,7 @@ def charge_transfer(
     dt = dev.cost_model.transfer_time_us(nbytes)
     start = dev.clock_us
     dev.advance(dt)
-    dev.profiler.record(
+    dev._profiler.record(
         LaunchRecord(name=f"memcpy_{kind}", kind=kind, start_us=start, duration_us=dt, bytes=nbytes)
     )
     san = _gbsan.ACTIVE

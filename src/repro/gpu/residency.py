@@ -88,7 +88,20 @@ class ResidentSet:
             del self._entries[key]
             if san is not None:
                 san.on_resident_evict(dev, container)
-        charge_transfer(container.nbytes, "h2d", device=dev, container=container)
+        nbytes = container.nbytes
+        # Lazy-optimizer payload demotion (see repro.lazy.passes): an
+        # iso-valued payload registered in the device's hint table is filled
+        # on-device rather than copied, so the upload moves structure only.
+        # The skipped bytes are *accounted* as elided — transfer conservation
+        # (repro.testing.conservation) requires every saved byte to appear in
+        # the elided counter, and the elision flag to gate the whole
+        # mechanism.
+        if dev.h2d_hints and reuse.elision_enabled():
+            skip = dev.h2d_hints.get((key, version), 0.0)
+            if skip:
+                nbytes = max(nbytes - skip, 0.0)
+                dev.allocator.record_h2d_elided(skip)
+        charge_transfer(nbytes, "h2d", device=dev, container=container)
         self.mark(container, record_h2d=True)
 
     def mark(self, container: Any, record_h2d: bool = False) -> None:

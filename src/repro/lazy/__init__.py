@@ -1,0 +1,40 @@
+"""Lazy op-graph with a fusing optimizer.
+
+Frontend calls on vector-valued GraphBLAS operations record into a lazy
+expression tape instead of executing; evaluation is forced at observation
+points (host extraction, scalar reductions feeding Python control flow,
+container mutation, profiler reads, explicit :func:`wait`).  The flush
+runs an optimizer over the whole pending program: ewise-chain fusion,
+dead-materialization elimination, mask sinking, loop-level push/pull
+selection, and automatic whole-loop capture.
+
+Eager mode (:func:`lazy_disabled`, or ``REPRO_LAZY=0``) executes the same
+run closures immediately and is bit-identical by construction — every
+optimizer decision is a pure launch/transfer/materialization choice.
+
+See ``docs/optimizer.md`` for the pass-by-pass walkthrough.
+"""
+
+from __future__ import annotations
+
+from .config import (
+    configure,
+    lazy_disabled,
+    lazy_enabled,
+    lazy_mode,
+    pass_enabled,
+    passes_configured,
+)
+from .schedule import sync, tape_len, wait
+
+__all__ = [
+    "configure",
+    "lazy_disabled",
+    "lazy_enabled",
+    "lazy_mode",
+    "pass_enabled",
+    "passes_configured",
+    "sync",
+    "tape_len",
+    "wait",
+]

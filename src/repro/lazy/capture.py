@@ -1,0 +1,178 @@
+"""Automatic whole-loop capture for lazily flushed kernel sequences.
+
+Iterative algorithms (BFS, PageRank, delta-stepping) flush an identical
+node sequence every iteration.  Manual capture (``kernel_graph`` +
+``graph.iteration()`` in every algorithm) is gone; instead the flush
+computes a structural *signature* of each tape it executes:
+
+- the first time a signature is seen, the flush executes and charges
+  normally (the capture iteration);
+- every later occurrence runs its launches through a :class:`LoopAgg` —
+  semantics execute as always, but charging is deferred and *accumulated
+  across iterations*.  When the loop ends (a config barrier, a profiler
+  read, a ``use_backend`` exit — any :func:`repro.lazy.schedule.wait`),
+  one ``graph_replay[lazy:<name>]`` record is emitted carrying a single
+  launch overhead plus the summed busy times of every member kernel.
+
+Signatures are structural: op names, input arities, operator/monoid names
+and descriptor flags — never data values, so a BFS frontier changing size
+or a PageRank residual shrinking does not break the match, while a
+push→pull flip (different params) correctly re-captures.
+
+State is held per :class:`~repro.gpu.device.Device` in a weak-key map so
+``reset_device()`` naturally abandons stale captures with the device.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from ..gpu.costmodel import KernelWork
+from ..gpu.graph import REPLAY_PREFIX
+from ..gpu.profiler import LaunchRecord
+from .ir import Node
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..gpu.device import Device
+    from ..gpu.kernel import Kernel
+
+__all__ = ["LoopAgg", "close", "discard", "enter", "signature"]
+
+LAZY_REPLAY_PREFIX = REPLAY_PREFIX + "lazy:"
+
+
+class LoopAgg:
+    """Accumulates deferred launches for one repeated flush signature.
+
+    Implements the ``on_launch`` protocol of
+    :class:`repro.gpu.graph.KernelGraph` (see ``repro.gpu.kernel.launch``):
+    returning True defers the charge to :meth:`commit`, which emits one
+    aggregated record for *all* accumulated iterations.
+    """
+
+    __slots__ = ("name", "_pending")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._pending: List[Tuple[str, float, KernelWork]] = []
+
+    def on_launch(self, kernel: "Kernel", work: KernelWork, dev: "Device") -> bool:
+        busy = dev.cost_model.kernel_time_us(work) - dev.props.launch_overhead_us
+        self._pending.append((kernel.display_name, max(busy, 0.0), work))
+        return True
+
+    def commit(self, dev: "Device") -> None:
+        pending, self._pending = self._pending, []
+        if not pending:
+            return
+        overhead = dev.props.launch_overhead_us
+        dt = overhead + sum(busy for _, busy, _ in pending)
+        start = dev.clock_us
+        dev.advance(dt)
+        dev._profiler.record(
+            LaunchRecord(
+                name=f"{LAZY_REPLAY_PREFIX}{self.name}]",
+                kind="kernel",
+                start_us=start,
+                duration_us=dt,
+                flops=sum(w.flops for _, _, w in pending),
+                bytes=sum(w.bytes_total for _, _, w in pending),
+                threads=max(w.threads for _, _, w in pending),
+                members=tuple(
+                    (name, busy, w.flops, w.bytes_total)
+                    for name, busy, w in pending
+                ),
+            )
+        )
+
+
+class _State:
+    """Per-device capture bookkeeping."""
+
+    __slots__ = ("seen", "open")
+
+    def __init__(self) -> None:
+        # signature -> aggregate name (first occurrence executed plainly).
+        self.seen: Dict[Tuple[Any, ...], str] = {}
+        # signature -> accumulating aggregate for repeat occurrences.
+        self.open: Dict[Tuple[Any, ...], LoopAgg] = {}
+
+
+_STATES: "weakref.WeakKeyDictionary[Any, _State]" = weakref.WeakKeyDictionary()
+
+
+def _token(v: Any) -> Any:
+    """A value's structural identity for signature purposes.
+
+    Operator-like objects contribute their name, descriptors their flags;
+    raw data (ints, floats, arrays — BFS depth, PageRank teleport mass)
+    contributes only its *type* so per-iteration value changes do not
+    break the loop match.
+    """
+    if v is None or isinstance(v, (bool, str)):
+        return v
+    name = getattr(v, "name", None)
+    if isinstance(name, str):
+        return name
+    if hasattr(v, "complement_mask"):
+        return (
+            "desc",
+            v.transpose_a,
+            v.transpose_b,
+            v.complement_mask,
+            v.structural_mask,
+            v.replace,
+        )
+    return type(v).__name__
+
+
+def _node_sig(node: Node) -> Tuple[Any, ...]:
+    keys = tuple(sorted(k for k, v in node.inputs.items() if v is not None))
+    params = tuple(sorted((k, _token(v)) for k, v in node.params.items()))
+    return (node.op, keys, params)
+
+
+def signature(nodes: List[Node]) -> Tuple[Any, ...]:
+    """Structural signature of one flushed tape."""
+    return tuple(_node_sig(n) for n in nodes)
+
+
+def enter(nodes: List[Node]) -> Optional[LoopAgg]:
+    """Route one flush through capture; None means execute/charge plainly.
+
+    The first occurrence of a signature is the capture iteration; repeats
+    return the (possibly already accumulating) aggregate for it.
+    """
+    from ..gpu.device import get_device
+
+    dev = get_device()
+    state = _STATES.get(dev)
+    if state is None:
+        state = _STATES[dev] = _State()
+    sig = signature(nodes)
+    agg = state.open.get(sig)
+    if agg is not None:
+        return agg
+    name = state.seen.get(sig)
+    if name is not None:
+        agg = LoopAgg(name)
+        state.open[sig] = agg
+        return agg
+    state.seen[sig] = f"{nodes[0].op}x{len(nodes)}"
+    return None
+
+
+def close(dev: "Device") -> None:
+    """Commit and clear every open aggregate (loop-exit barrier)."""
+    state = _STATES.get(dev)
+    if state is None or not state.open:
+        return
+    open_aggs, state.open = state.open, {}
+    for agg in open_aggs.values():
+        agg.commit(dev)
+
+
+def discard(dev: "Device") -> None:
+    """Drop all capture state without charging (device reset)."""
+    _STATES.pop(dev, None)

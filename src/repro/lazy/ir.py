@@ -1,0 +1,84 @@
+"""Lazy expression IR: op nodes and the values that flow between them.
+
+Frontend calls on vector-valued operations record a :class:`Node` instead
+of executing; the node bundles the op's *run closure* (the original eager
+body, operating on resolved containers) with its inputs and the parameters
+the optimizer passes inspect.  A :class:`LazyValue` is one pending output:
+it remembers its producing node, a weak reference to the Vector handle it
+was recorded into (liveness: a value whose handle died or moved on is a
+dead materialization), and — once the flush executed the node — the
+concrete container.
+
+The IR is deliberately flat: a flush is a program-ordered tape of nodes,
+and every pass (fusion, dead-materialization elimination, mask sinking,
+direction selection, loop capture) is a linear walk over that tape.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Any, Callable, Dict, Optional, Tuple
+
+__all__ = ["LazyValue", "Node", "RunFn"]
+
+#: A node's run closure: ``run(resolved_inputs, params) -> container(s)``.
+#: Scalar nodes return the scalar; multi-output nodes return a tuple in
+#: output order; fused scalar nodes return ``(*containers, scalar)``.
+RunFn = Callable[[Dict[str, Any], Dict[str, Any]], Any]
+
+
+class Node:
+    """One recorded operation on the lazy tape."""
+
+    __slots__ = (
+        "op",
+        "run",
+        "inputs",
+        "params",
+        "backend",
+        "outputs",
+        "scalar",
+        "value",
+        "done",
+    )
+
+    def __init__(
+        self,
+        op: str,
+        run: RunFn,
+        inputs: Dict[str, Any],
+        params: Dict[str, Any],
+        backend: Any,
+        scalar: bool = False,
+    ) -> None:
+        self.op = op
+        self.run = run
+        # name -> LazyValue (pending), container (concrete), or None.
+        self.inputs = inputs
+        self.params = params
+        self.backend = backend
+        self.outputs: Tuple["LazyValue", ...] = ()
+        self.scalar = scalar
+        self.value: Any = None
+        self.done = False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "done" if self.done else "pending"
+        return f"<Node {self.op} {state}>"
+
+
+class LazyValue:
+    """One pending op output, owned (weakly) by a Vector handle."""
+
+    __slots__ = ("node", "owner", "container")
+
+    def __init__(
+        self, node: Node, owner: Optional["weakref.ref[Any]"] = None
+    ) -> None:
+        self.node = node
+        self.owner = owner
+        self.container: Any = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "ready" if self.container is not None else "pending"
+        return f"<LazyValue {self.node.op} {state}>"

@@ -1,14 +1,21 @@
 """gbsan static lint: kernel contracts enforced at the AST.
 
 The dynamic sanitizer (:mod:`repro.sanitizer.runtime`) checks what actually
-ran; this module checks what *could* run.  Four rules keep the simulated
+ran; this module checks what *could* run.  Five rules keep the simulated
 device code honest:
 
 ``kernel-decl``
     Every :class:`~repro.gpu.kernel.Kernel` instantiated under
-    ``repro/backends/`` must declare its access sets (the ``accesses=``
-    argument, or a fourth positional) — otherwise the dynamic checkers are
-    blind to its launches.
+    ``repro/backends/`` or ``repro/lazy/`` must declare its access sets
+    (the ``accesses=`` argument, or a fourth positional) — otherwise the
+    dynamic checkers are blind to its launches.
+
+``fused-kernel-decl``
+    Anywhere in the tree, a ``Kernel`` whose name contains ``fused`` must
+    declare ``accesses=``.  Fused kernels are *emitted by the optimizer*
+    (the lazy pass pipeline rewrites tapes to launch them), so an
+    undeclared one would silently skip the race/residency checks exactly
+    on the launches the optimizer invented.
 
 ``container-mutation``
     No direct stores into container payload arrays (``.values``,
@@ -108,8 +115,12 @@ def _suppressions(source: str) -> Dict[int, Set[str]]:
 
 def _rules_for(relpath: str) -> Set[str]:
     """The rule set applying to one repo-relative ``repro/``-rooted path."""
-    rules: Set[str] = set()
+    rules: Set[str] = {"fused-kernel-decl"}
     if relpath.startswith("backends/"):
+        rules |= {"kernel-decl", "container-mutation", "argsort"}
+    if relpath.startswith("lazy/"):
+        # The optimizer rewrites tapes and may synthesize kernels; it is
+        # hot-path device code and held to the backend rules.
         rules |= {"kernel-decl", "container-mutation", "argsort"}
     if relpath.startswith("algorithms/"):
         rules |= {"container-mutation", "argsort"}
@@ -147,6 +158,14 @@ class _Visitor(ast.NodeVisitor):
                     "Kernel(...) without an accesses= declaration; the "
                     "sanitizer cannot check launches of an undeclared kernel",
                 )
+                if self._kernel_name_is_fused(node):
+                    self._flag(
+                        node,
+                        "fused-kernel-decl",
+                        "optimizer-emitted fused kernel without accesses=; "
+                        "gbsan would skip exactly the launches the lazy "
+                        "pass pipeline synthesizes",
+                    )
         if name == "argsort" or self._is_np_call(node, {"argsort"}):
             self._flag(
                 node,
@@ -168,6 +187,17 @@ class _Visitor(ast.NodeVisitor):
                 "never charges — move it into a kernel semantic or charge it",
             )
         self.generic_visit(node)
+
+    @staticmethod
+    def _kernel_name_is_fused(node: ast.Call) -> bool:
+        if not node.args:
+            return False
+        first = node.args[0]
+        return (
+            isinstance(first, ast.Constant)
+            and isinstance(first.value, str)
+            and "fused" in first.value
+        )
 
     @staticmethod
     def _call_name(node: ast.Call) -> str:

@@ -114,14 +114,18 @@ def check_flop_conservation(
 
     _fresh_cuda_sim()
     with use_backend("cuda_sim"):
-        probe()
+        # Bind the probe outputs: a discarded result is a *dead*
+        # materialization under the lazy optimizer and would (correctly)
+        # never launch, which is not what a flop-counting probe wants.
+        keep = probe()
     single = _kernel_flops(get_device().profiler)
 
     ms = get_backend("multi_sim").configure(nparts=nparts, splitter=splitter)
     ms.reset()
     with use_backend(ms):
-        probe()
+        keep = probe()
     sharded = sum(_kernel_flops(d.profiler) for d in ms.cluster.devices)
+    del keep
 
     if not np.isclose(single, sharded, rtol=1e-9):
         return (

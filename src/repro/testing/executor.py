@@ -14,6 +14,13 @@ A *backend spec* is a string naming one execution configuration:
 - ``"multi_sim:P:splitter"`` — the partitioned backend with ``P`` devices
   and the named block-row splitter, e.g. ``"multi_sim:4:degree_balanced"``.
 
+Any spec may append ``:lazy=on`` / ``:lazy=off`` to pin the lazy
+evaluation mode (:mod:`repro.lazy`) for the run — e.g.
+``"cuda_sim:lazy=off"`` replays eagerly on the simulated GPU and
+``"multi_sim:2:equal_rows:lazy=on"`` forces tape recording on a backend
+that is eager by default.  The optimizer is pure scheduling, so results
+must stay bit-identical either way.
+
 :func:`run_differential` replays the program on the reference backend, then
 on every other spec, comparing op-by-op under the shared equivalence policy
 (bit-exact for selection semirings, tolerance-bounded for float sums — see
@@ -39,6 +46,7 @@ from ..core.vector import Vector
 from ..exceptions import GraphBLASError
 from ..gpu import loadbalance, reuse
 from ..gpu.device import reset_device
+from ..lazy import config as lazy_config
 from ..types import FP64
 from .equivalence import describe_mismatch, same
 from .programs import (
@@ -63,17 +71,25 @@ __all__ = [
     "backend_specs",
 ]
 
-SMOKE_SPECS = ("reference", "cpu", "cuda_sim")
+SMOKE_SPECS = (
+    "reference",
+    "cpu",
+    "cuda_sim",
+    "cuda_sim:lazy=off",
+    "multi_sim:2:equal_rows:lazy=on",
+)
 
 DEFAULT_SPECS = (
     "reference",
     "cpu",
     "cuda_sim",
     "cuda_sim:noreuse",
+    "cuda_sim:lazy=off",
     "cuda_sim:lanes=scalar",
     "cuda_sim:lanes=merge",
     "multi_sim:1:equal_rows",
     "multi_sim:2:equal_rows",
+    "multi_sim:2:equal_rows:lazy=on",
     "multi_sim:2:degree_balanced",
     "multi_sim:4:equal_rows",
     "multi_sim:4:degree_balanced",
@@ -112,8 +128,11 @@ def _resolve_backend(spec: str):
     if spec.startswith("cuda_sim"):
         return get_backend("cuda_sim"), True
     if spec.startswith("multi_sim"):
-        _, p, splitter = spec.split(":")
-        return get_backend("multi_sim").configure(nparts=int(p), splitter=splitter), True
+        parts = spec.split(":")
+        return (
+            get_backend("multi_sim").configure(nparts=int(parts[1]), splitter=parts[2]),
+            True,
+        )
     raise ValueError(f"unknown backend spec {spec!r}")
 
 
@@ -325,10 +344,15 @@ def execute(
     noreuse = spec.endswith(":noreuse")
     ctx = reuse.reuse_disabled() if noreuse else nullcontext()
     lane_ctx: Any = nullcontext()
+    lazy_ctx: Any = nullcontext()
     for part in spec.split(":")[1:]:
         if part.startswith("lanes="):
             lane_ctx = loadbalance.forced(part[len("lanes="):])
-    with ctx, lane_ctx:
+        elif part == "lazy=off":
+            lazy_ctx = lazy_config.lazy_disabled()
+        elif part == "lazy=on":
+            lazy_ctx = lazy_config.lazy_enabled()
+    with ctx, lane_ctx, lazy_ctx:
         with use_backend(backend):
             for opspec in program.ops:
                 try:

@@ -270,7 +270,9 @@ class TestMultiSimBackend:
 
     def test_p1_counters_match_cuda_sim(self):
         g = rmat(8, 8, seed=5)
-        with use_backend("cuda_sim"):
+        # Eager-to-eager comparison: multi_sim shards execute eagerly, so
+        # pin the single-device run eager too (no lazy loop aggregation).
+        with gb.lazy.lazy_disabled(), use_backend("cuda_sim"):
             gb.algorithms.bfs_levels(g, 0)
         dev = get_device()
         base_launches = dev.profiler.launch_count

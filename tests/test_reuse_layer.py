@@ -218,10 +218,13 @@ def _inputs(n=64, seed=0):
 class TestTransferElision:
     def test_clean_reuse_counts_elided_bytes(self):
         a, u = _inputs()
+        keep = []
         with use_backend("cuda_sim"):
             for _ in range(3):
                 w = gb.Vector.sparse(gb.FP64, 64)
-                ops.mxv(w, a, u, PLUS_TIMES)
+                # Keep every product alive: dead outputs never launch (and
+                # never consume the resident inputs) under the optimizer.
+                keep.append(ops.mxv(w, a, u, PLUS_TIMES))
         stats = get_device().allocator.stats
         assert stats.h2d_elided_count > 0
         assert stats.h2d_elided_bytes > 0
@@ -248,6 +251,7 @@ class TestTransferElision:
         with use_backend("cuda_sim"):
             w = gb.Vector.sparse(gb.FP64, 64)
             ops.mxv(w, a, u, PLUS_TIMES)
+            w.nvals  # force the first product before reading the counter
             h2d_after_first = get_device().profiler.h2d_bytes
             for _ in range(4):
                 w2 = gb.Vector.sparse(gb.FP64, 64)

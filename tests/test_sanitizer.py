@@ -363,6 +363,24 @@ class TestLint:
         src = "o = np.argsort(keys)\nc.values[k] = v\n"
         assert lint_source(src, "testing/programs.py") == []
 
+    def test_fused_kernel_without_accesses_flagged_everywhere(self):
+        # Fused kernels are emitted by the lazy optimizer; an undeclared one
+        # is flagged no matter which module instantiates it.
+        src = "K = Kernel('ewise_reduce_fused_v', run, work)\n"
+        out = lint_source(src, "testing/helpers.py")
+        assert [f.rule for f in out] == ["fused-kernel-decl"]
+        out = lint_source(src, "backends/cuda_sim/kernels.py")
+        assert {f.rule for f in out} == {"kernel-decl", "fused-kernel-decl"}
+
+    def test_fused_kernel_with_accesses_clean(self):
+        src = "K = Kernel('fill_ewise_fused_v', run, work, accesses=_reads_all)\n"
+        assert lint_source(src, "lazy/passes.py") == []
+
+    def test_lazy_package_held_to_backend_rules(self):
+        src = "o = np.argsort(keys)\nK = Kernel('k', run, work)\n"
+        out = lint_source(src, "lazy/schedule.py")
+        assert {f.rule for f in out} == {"argsort", "kernel-decl"}
+
     def test_repo_tree_is_clean(self):
         from pathlib import Path
 
