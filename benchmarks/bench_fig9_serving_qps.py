@@ -1,0 +1,208 @@
+"""Figure 9 — serving throughput/latency: batched coalescing vs unbatched.
+
+New-workload experiment (no counterpart in the paper): the `repro.serve`
+multi-tenant query service replays one Zipf-skewed synthetic trace — 10k
+queries from a 1.2M-user population against a resident R-MAT scale-13
+graph — twice, batched (coalescer on, ``max_batch=128``) and unbatched
+(``max_batch=1``: every query is its own single-source launch, the
+serving equivalent of the one-script-one-algorithm baseline).
+
+Shape claims:
+
+- **throughput** — coalescing sustains ≥ 3x the QPS of unbatched serving
+  on the same trace: multi-source launches amortise kernel launches and
+  adjacency reads across the batch, and Zipf-hot duplicate sources
+  deduplicate into shared rows;
+- **latency** — batched p99 is no worse than unbatched p99 at this
+  arrival rate (the coalescer's added queueing wait is repaid many times
+  over by shorter device queues);
+- **bit identity** — every query's result digest is identical between the
+  batched and unbatched runs, on ``cuda_sim`` for the full trace and on
+  ``multi_sim`` (P ∈ {1, 2}) for a prefix — coalescing is a pure
+  scheduling optimization, never a numerics change.
+
+The JSON record carries the deterministic launch/H2D counters of both
+cuda_sim runs (CI-gated by ``check_bench_regressions.py``) plus the
+batch-size histograms recorded by ``sim_metrics``, and a latency-by-
+coalescing-depth breakdown so regressions in batching policy show up as
+shifted depth mass, not just as a blurred aggregate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro as gb
+from repro.bench.tables import format_table
+from repro.serve import BatchPolicy, GraphService, TrafficSpec, generate_trace
+from conftest import save_json, save_table, sim_metrics
+
+SCALE = 13
+GRAPH_SEED = 33
+TRACE_SEED = 9
+SPEC = TrafficSpec(
+    qps=250_000.0,
+    n_queries=10_000,
+    n_users=1_200_000,
+    n_tenants=8,
+    source_skew=1.5,
+    ppr_iters=5,
+)
+BATCHED = BatchPolicy(max_batch=128, max_wait_us=3_000.0)
+UNBATCHED = BatchPolicy(max_batch=1, max_wait_us=0.0)
+STREAMS = 4
+# multi_sim replays a prefix: the A/B there certifies distributed
+# bit-identity, not throughput, so it doesn't need the full trace.
+MULTI_PREFIX = 1_500
+MULTI_PARTS = [1, 2]
+
+
+def _run_service(backend, policy, trace, graph):
+    svc = GraphService(
+        backend=backend, policy=policy, streams=STREAMS,
+        store_results=False, store_digests=True,
+    )
+    svc.register_graph(graph)
+    for t in range(SPEC.n_tenants):
+        svc.add_tenant(f"tenant{t}", max_queue=10_000_000)
+    return svc.run_trace(trace)
+
+
+def _digests(stats):
+    return {r.qid: r.digest for r in stats.completed}
+
+
+def _latency_by_depth(stats, edges=(1, 2, 8, 32, 64, 128)):
+    """Mean/p99 latency per coalescing-depth bin — the attribution table."""
+    out = {}
+    recs = stats.completed
+    for lo, hi in zip(edges, edges[1:] + (np.inf,)):
+        lat = np.array(
+            [r.latency_us for r in recs if lo <= r.batch_size < hi]
+        )
+        if lat.size:
+            label = f"{lo}+" if np.isinf(hi) else f"{lo}-{int(hi) - 1}"
+            out[label] = {
+                "queries": int(lat.size),
+                "mean_us": round(float(lat.mean()), 1),
+                "p99_us": round(float(np.percentile(lat, 99)), 1),
+            }
+    return out
+
+
+def test_fig9_render(benchmark):
+    def build():
+        g = gb.generators.rmat(scale=SCALE, edge_factor=8, seed=GRAPH_SEED)
+        trace = generate_trace(SPEC, g.nrows, seed=TRACE_SEED)
+
+        # -- cuda_sim: the full-trace throughput/latency A/B -------------
+        stats = {}
+
+        def batched_run():
+            stats["batched"] = _run_service("cuda_sim", BATCHED, trace, g)
+            return stats["batched"]
+
+        def unbatched_run():
+            stats["unbatched"] = _run_service("cuda_sim", UNBATCHED, trace, g)
+            return stats["unbatched"]
+
+        metrics = {
+            "batched": sim_metrics(batched_run),
+            "unbatched": sim_metrics(unbatched_run),
+        }
+        b, u = stats["batched"], stats["unbatched"]
+
+        # Bit identity over the full trace: same completions, same bytes.
+        db, du = _digests(b), _digests(u)
+        assert set(db) == set(du) and len(db) == SPEC.n_queries
+        mismatched = [q for q in db if db[q] != du[q]]
+        assert not mismatched, f"{len(mismatched)} digest mismatches"
+
+        # Throughput and latency shape: ≥3x QPS at no-worse p99.
+        ratio = b.sustained_qps / u.sustained_qps
+        assert ratio >= 3.0, f"batched/unbatched QPS ratio {ratio:.2f} < 3"
+        assert b.latency_percentile(99) <= u.latency_percentile(99)
+
+        # -- multi_sim P∈{1,2}: distributed bit-identity on a prefix -----
+        prefix = trace[:MULTI_PREFIX]
+        multi = {}
+        for nparts in MULTI_PARTS:
+            be = gb.get_backend("multi_sim")
+            be.configure(nparts=nparts, splitter="degree_balanced")
+            be.reset()
+            mb = _run_service("multi_sim", BATCHED, prefix, g)
+            be.reset()
+            mu = _run_service("multi_sim", UNBATCHED, prefix, g)
+            dmb, dmu = _digests(mb), _digests(mu)
+            assert dmb == dmu and len(dmb) == MULTI_PREFIX, (
+                f"multi_sim P={nparts}: batched != per-query single-source"
+            )
+            multi[f"P{nparts}"] = {
+                "queries": MULTI_PREFIX,
+                "bit_identical": True,
+                "qps_ratio": round(mb.sustained_qps / mu.sustained_qps, 3),
+            }
+
+        rows = [
+            [
+                mode,
+                round(s.sustained_qps),
+                round(s.latency_percentile(50) / 1e3, 1),
+                round(s.latency_percentile(99) / 1e3, 1),
+                round(
+                    sum(k * v for k, v in s.batch_size_histogram.items())
+                    / max(sum(s.batch_size_histogram.values()), 1),
+                    1,
+                ),
+            ]
+            for mode, s in (("batched", b), ("unbatched", u))
+        ]
+        fig = format_table(
+            f"Figure 9 — serving QPS and latency, batched vs unbatched "
+            f"(R-MAT scale {SCALE}, {SPEC.n_queries} queries, "
+            f"Zipf s={SPEC.source_skew}, {SPEC.n_tenants} tenants)",
+            ["mode", "QPS", "p50_ms", "p99_ms", "mean_batch"],
+            rows,
+        )
+        fig += f"\n\nbatched/unbatched sustained QPS ratio: {ratio:.2f}x"
+        save_table("fig9_serving_qps", fig)
+
+        record = {
+            "figure": "fig9_serving_qps",
+            "scale": SCALE,
+            "spec": {
+                "qps": SPEC.qps,
+                "n_queries": SPEC.n_queries,
+                "n_users": SPEC.n_users,
+                "n_tenants": SPEC.n_tenants,
+                "source_skew": SPEC.source_skew,
+                "trace_seed": TRACE_SEED,
+            },
+            "policy": {
+                "max_batch": BATCHED.max_batch,
+                "max_wait_us": BATCHED.max_wait_us,
+                "streams": STREAMS,
+            },
+            "qps": {
+                "batched": round(b.sustained_qps, 1),
+                "unbatched": round(u.sustained_qps, 1),
+                "ratio": round(ratio, 3),
+            },
+            "latency_us": {
+                mode: {
+                    "p50": round(s.latency_percentile(50), 1),
+                    "p99": round(s.latency_percentile(99), 1),
+                }
+                for mode, s in (("batched", b), ("unbatched", u))
+            },
+            "bit_identical": {"cuda_sim": True, "multi_sim": multi},
+            "latency_by_depth": _latency_by_depth(b),
+            # Deterministic counters (plus the batch-size histograms the
+            # conftest sim_metrics hook records) — CI-gated like every
+            # other figure.
+            "cuda_sim_metrics": metrics,
+        }
+        save_json("fig9", record)
+        return fig
+
+    benchmark.pedantic(build, rounds=1, iterations=1)

@@ -54,10 +54,19 @@ def sim_metrics(fn) -> dict:
     ``check_bench_regressions.py``).
     """
     m = simulated_gpu_time(fn)
-    return {
+    out = {
         "kernel_launches": m.kernel_launches,
         "h2d_bytes": round(m.h2d_bytes),
     }
+    # Serving runs return ServiceStats: record the coalescing-depth
+    # histogram alongside the device counters so fig9 can attribute
+    # latency to batch depth (keys stringified for stable JSON).
+    hist = getattr(m.result, "batch_size_histogram", None)
+    if hist is not None:
+        out["batch_size_histogram"] = {
+            str(k): int(v) for k, v in sorted(hist.items())
+        }
+    return out
 
 
 def bench_backend(benchmark, backend: str, fn, rounds: int = 3):

@@ -21,7 +21,7 @@ Quickstart::
     assert levels == levels_gpu
 """
 
-from . import algorithms, containers, generators, gpu, io, lazy
+from . import algorithms, containers, generators, gpu, io, lazy, serve
 from .backends import (
     available_backends,
     current_backend,
@@ -75,6 +75,7 @@ __all__ = (
         "gpu",
         "io",
         "lazy",
+        "serve",
         "available_backends",
         "current_backend",
         "get_backend",

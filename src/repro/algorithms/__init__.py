@@ -32,6 +32,7 @@ from .mis import mis, verify_mis
 from .msbfs import bfs_levels_multi
 from .mst import mst_prim
 from .pagerank import pagerank, row_stochastic
+from .ppr import ppr, ppr_batch, ppr_transition
 from .sssp import sssp, sssp_bellman_ford
 from .triangles import lower_triangle, triangle_count, triangles_per_vertex
 
@@ -67,6 +68,9 @@ __all__ = [
     "mst_prim",
     "pagerank",
     "row_stochastic",
+    "ppr",
+    "ppr_batch",
+    "ppr_transition",
     "sssp",
     "sssp_delta_stepping",
     "split_light_heavy",

@@ -107,7 +107,10 @@ def mask_slot_map(keyspace: int) -> np.ndarray:
 def _reduce_plus(keys, values, n_out, monoid):
     if values.dtype == np.float64:
         # bincount accumulates float64 natively: a sequential 0.0 + x fold
-        # per key, identical to reduceat's left fold for float64 inputs.
+        # per key in input order.  NOT bit-equal to np.add.reduceat (which
+        # folds pairwise) — every caller that can fall back to a sorted
+        # path must reduce with this same strategy over compacted keys
+        # (see spgemm._sorted_reduce_flat) to keep results branch-invariant.
         return np.bincount(keys, weights=values, minlength=n_out)
     acc = np.zeros(n_out, dtype=values.dtype)
     np.add.at(acc, keys, values)

@@ -41,6 +41,7 @@ from .fastpath import (
     dense_keyspace_ok,
     fast_reduce_by_key,
     mask_slot_map,
+    reduce_strategy,
     scratch,
 )
 from .segments import run_starts, segment_reduce
@@ -122,7 +123,25 @@ def _csr_from_flat(nrows, ncols, out_keys, out_vals, out_type) -> CSRMatrix:
 
 
 def _sorted_reduce_flat(nrows, ncols, keys, prods, semiring, out_type) -> CSRMatrix:
-    """Generic fallback: stable sort by flat key, then segment-reduce."""
+    """Fallback reduce when the dense flat-key accumulator is too large.
+
+    For monoids with a dense-accumulator strategy the keys are *compacted*
+    (``np.unique``) and reduced with the **same** strategy the dense path
+    uses, over the compressed keyspace.  This keeps every per-key
+    accumulation order identical between the two branches, which matters
+    for inexact monoids: float64 ``PLUS`` via ``bincount`` folds
+    sequentially while ``np.add.reduceat`` folds pairwise, so mixing the
+    two makes a row's bits depend on which branch the *whole matrix*
+    selected — batch-of-k SpMM would stop being row-identical to batch-of-1
+    (the contract :mod:`repro.serve`'s coalescer and ``ppr_batch`` rely
+    on).  Monoids with no dense strategy take the stable sort +
+    :func:`segment_reduce` path, unchanged.
+    """
+    fn = reduce_strategy(semiring.add)
+    if fn is not None:
+        uniq, inv = np.unique(keys, return_inverse=True)  # gbsan: ok(argsort) -- key compaction; same O(m log m) the sorted fallback always paid
+        acc = fn(inv.astype(np.int64, copy=False), prods, uniq.size, semiring.add)
+        return _csr_from_flat(nrows, ncols, uniq, acc, out_type)
     order = np.argsort(keys, kind="stable")  # gbsan: ok(argsort) -- generic fallback; hot shapes take the sort-free fastpath
     keys = keys[order]
     prods = prods[order]

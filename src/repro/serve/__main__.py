@@ -1,0 +1,76 @@
+"""Serving smoke burn: ``python -m repro.serve [backend]``.
+
+Runs a short synthetic trace through the service twice on a small RMAT
+graph — once batched (coalescing on) and once unbatched (``max_batch=1``,
+the per-query single-source A/B) — then asserts the two runs produced
+bit-identical result digests for every completed query and prints both
+runs' stats.  Exits nonzero on any mismatch, so CI can gate on it
+(including under ``GBSAN=1``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from .. import generators
+from .coalescer import BatchPolicy
+from .service import GraphService
+from .traffic import TrafficSpec, generate_trace
+
+
+def main(argv: list) -> int:
+    backend = argv[1] if len(argv) > 1 else "cuda_sim"
+    g = generators.rmat(scale=9, edge_factor=8, seed=7)
+    spec = TrafficSpec(
+        qps=5_000.0,
+        n_queries=400,
+        n_users=1_200_000,
+        n_tenants=4,
+        ppr_iters=4,
+    )
+    trace = generate_trace(spec, g.nrows, seed=11)
+
+    def run(policy: BatchPolicy) -> tuple:
+        svc = GraphService(backend=backend, policy=policy, streams=2)
+        svc.register_graph(g)
+        for t in range(spec.n_tenants):
+            svc.add_tenant(f"tenant{t}", weight=1.0 + t, max_queue=10_000)
+        stats = svc.run_trace(trace)
+        digests = {r.qid: r.digest for r in stats.completed}
+        return stats, digests
+
+    batched, dig_b = run(BatchPolicy(max_batch=32, max_wait_us=4_000.0))
+    single, dig_s = run(BatchPolicy(max_batch=1, max_wait_us=0.0))
+
+    if set(dig_b) != set(dig_s):
+        print(
+            f"FAIL: completed-query sets differ "
+            f"(batched={len(dig_b)}, unbatched={len(dig_s)})"
+        )
+        return 1
+    mismatched = [q for q in dig_b if dig_b[q] != dig_s[q]]
+    if mismatched:
+        print(f"FAIL: {len(mismatched)} digest mismatches, e.g. qid={mismatched[0]}")
+        return 1
+
+    report = {
+        "backend": backend,
+        "queries": spec.n_queries,
+        "bit_identical": True,
+        "batched": batched.to_dict(),
+        "unbatched": single.to_dict(),
+        "qps_ratio": round(
+            batched.sustained_qps / max(single.sustained_qps, 1e-12), 3
+        ),
+    }
+    print(json.dumps(report, indent=2))
+    print(
+        f"serving smoke OK on {backend}: {len(dig_b)} queries bit-identical, "
+        f"batched/unbatched QPS ratio {report['qps_ratio']}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

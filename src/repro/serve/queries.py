@@ -1,0 +1,187 @@
+"""Typed queries, results, and batch-compatibility keys.
+
+A query names one unit of per-user work against a shared resident graph.
+Four types cover the serving scenarios the north-star asks for:
+
+- :class:`BfsQuery` — full hop-distance map from one source;
+- :class:`KHopQuery` — the bounded neighborhood: vertices within ``hops``
+  hops, with their distances;
+- :class:`PprQuery` — personalized PageRank scores from one source
+  (fixed-iteration, so results are batch-composition-independent);
+- :class:`FeatureQuery` — per-vertex feature lookup (out-degree and
+  triangle count) from the graph's materialised feature store.
+
+Queries carry a **coalesce key** (:meth:`Query.coalesce_key`): two queries
+with equal keys on the same graph may be executed in one batched launch.
+Hop-bounded traversals share a key regardless of ``hops`` — a deeper batch
+subsumes a shallower query, whose result is recovered by filtering its row
+to ``level <= hops`` — but *unbounded* BFS pools separately: one full-BFS
+passenger would force a whole k-hop batch to run to fixpoint, forfeiting
+the ``max_level`` early exit that makes bounded batches cheap.  PPR
+queries only coalesce when ``(damping, iters)`` agree, since those change
+the numbers.
+
+The contract every batch path must honor (and the metamorphic invariant
+checks): executing a query in *any* batch is element-wise identical to
+executing it alone.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Query",
+    "BfsQuery",
+    "KHopQuery",
+    "PprQuery",
+    "FeatureQuery",
+    "QueryResult",
+    "Overloaded",
+]
+
+
+class Overloaded(RuntimeError):
+    """Typed admission-control rejection: the tenant's queue is full.
+
+    Raised by :meth:`~repro.serve.service.GraphService.submit` when
+    admitting the query would push the tenant's outstanding depth (queued +
+    in flight) past its ``max_queue``.  Carries enough context for the
+    caller to back off intelligently.
+    """
+
+    def __init__(self, tenant: str, depth: int, limit: int) -> None:
+        super().__init__(
+            f"tenant {tenant!r} overloaded: {depth} queries outstanding "
+            f"(limit {limit})"
+        )
+        self.tenant = tenant
+        self.depth = depth
+        self.limit = limit
+
+
+@dataclass(frozen=True)
+class Query:
+    """Base query: every query targets one source vertex."""
+
+    source: int
+
+    kind = ""  # class attribute, overridden per subclass (not a field)
+
+    def coalesce_key(self) -> Tuple[Any, ...]:
+        """Queries with equal keys may share one batched launch."""
+        raise NotImplementedError
+
+    def validate(self, n: int) -> None:
+        from ..exceptions import IndexOutOfBoundsError
+
+        if not 0 <= self.source < n:
+            raise IndexOutOfBoundsError(
+                f"query source {self.source} outside [0, {n})"
+            )
+
+
+@dataclass(frozen=True)
+class BfsQuery(Query):
+    """Full BFS hop-distance map from ``source``."""
+
+    kind = "bfs"
+
+    def coalesce_key(self) -> Tuple[Any, ...]:
+        # Full traversals run to fixpoint, so they must not share a pool
+        # with hop-bounded queries (they would void the early exit).
+        return ("traverse", "full")
+
+
+@dataclass(frozen=True)
+class KHopQuery(Query):
+    """Vertices within ``hops`` hops of ``source`` with their distances."""
+
+    hops: int = 2
+    kind = "khop"
+
+    def coalesce_key(self) -> Tuple[Any, ...]:
+        # All bounded depths coalesce: the deepest query sets the batch's
+        # max_level and shallower rows are filtered to their own bound.
+        return ("traverse", "bounded")
+
+    def validate(self, n: int) -> None:
+        super().validate(n)
+        from ..exceptions import InvalidValueError
+
+        if self.hops < 0:
+            raise InvalidValueError(f"hops must be >= 0, got {self.hops}")
+
+
+@dataclass(frozen=True)
+class PprQuery(Query):
+    """Personalized PageRank scores from ``source`` (fixed iterations)."""
+
+    damping: float = 0.85
+    iters: int = 10
+    kind = "ppr"
+
+    def coalesce_key(self) -> Tuple[Any, ...]:
+        return ("ppr", self.damping, self.iters)
+
+    def validate(self, n: int) -> None:
+        super().validate(n)
+        from ..exceptions import InvalidValueError
+
+        if not 0.0 <= self.damping < 1.0:
+            raise InvalidValueError(
+                f"damping must be in [0, 1), got {self.damping}"
+            )
+        if self.iters < 1:
+            raise InvalidValueError(f"iters must be >= 1, got {self.iters}")
+
+
+@dataclass(frozen=True)
+class FeatureQuery(Query):
+    """Per-vertex features of ``source``: (out-degree, triangle count)."""
+
+    kind = "feature"
+
+    def coalesce_key(self) -> Tuple[Any, ...]:
+        return ("feature",)
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """A query's payload: parallel index/value arrays.
+
+    - bfs / khop — (vertex ids, hop distances);
+    - ppr — (vertex ids, rank scores);
+    - feature — indices ``[source]``, values ``[out_degree, triangles]``.
+
+    ``digest()`` is a stable fingerprint of the exact bytes — the unit the
+    batched-vs-single bit-identity checks compare, cheap enough to keep for
+    tens of thousands of queries.
+    """
+
+    kind: str
+    indices: np.ndarray
+    values: np.ndarray
+
+    def digest(self) -> str:
+        h = hashlib.sha1()
+        h.update(self.kind.encode())
+        for a in (self.indices, self.values):
+            arr = np.ascontiguousarray(a)
+            h.update(str(arr.dtype).encode())
+            h.update(str(arr.shape).encode())
+            h.update(arr.tobytes())
+        return h.hexdigest()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QueryResult):
+            return NotImplemented
+        return (
+            self.kind == other.kind
+            and bool(np.array_equal(self.indices, other.indices))
+            and bool(np.array_equal(self.values, other.values))
+        )

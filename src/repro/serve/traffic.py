@@ -1,0 +1,158 @@
+"""Synthetic serving traffic: Zipf-skewed sources and tenants at a QPS.
+
+The generator models a population of simulated users (configurable,
+defaults above one million) issuing graph queries against a shared graph:
+
+- **arrivals** are Poisson at the configured QPS — exponential
+  inter-arrival gaps on the virtual clock;
+- **sources** are drawn from a bounded Zipf over the user/vertex
+  population, so a hot head of vertices dominates (which is what makes
+  within-batch source dedup pay off);
+- **tenants** are likewise Zipf-skewed — a few tenants send most of the
+  load, the regime where weighted fairness matters;
+- the **query mix** is a categorical over query constructors.
+
+Everything is derived from one seeded :class:`numpy.random.Generator`, so
+a (spec, seed) pair names a reproducible trace.  Zipf draws use an exact
+inverse-CDF over the truncated support (``searchsorted`` on the cumulative
+weights) rather than ``Generator.zipf`` — the latter has unbounded
+support and would need rejection loops to confine to ``n`` users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .queries import BfsQuery, FeatureQuery, KHopQuery, PprQuery, Query
+
+__all__ = ["TrafficSpec", "Submission", "zipf_choice", "generate_trace"]
+
+DEFAULT_MIX: Tuple[Tuple[str, float], ...] = (
+    ("khop", 0.65),
+    ("bfs", 0.10),
+    ("ppr", 0.15),
+    ("feature", 0.10),
+)
+
+
+@dataclass(frozen=True)
+class Submission:
+    """One trace entry, ready for :meth:`GraphService.submit`."""
+
+    arrival_us: float
+    tenant: str
+    query: Query
+    graph: str = "default"
+    deadline_us: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """Knobs for one synthetic workload.
+
+    ``n_users`` is the simulated user population; each user is pinned to a
+    home vertex by a seeded permutation, so source popularity follows the
+    user popularity skew even when users outnumber vertices.
+    """
+
+    qps: float = 20_000.0
+    n_queries: int = 10_000
+    n_users: int = 1_200_000
+    n_tenants: int = 8
+    source_skew: float = 1.1
+    tenant_skew: float = 1.0
+    mix: Tuple[Tuple[str, float], ...] = DEFAULT_MIX
+    khop_hops: Tuple[int, ...] = (1, 2, 3)
+    ppr_damping: float = 0.85
+    ppr_iters: int = 5
+    deadline_us: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.qps <= 0:
+            raise ValueError(f"qps must be > 0, got {self.qps}")
+        if self.n_queries < 1:
+            raise ValueError(f"n_queries must be >= 1, got {self.n_queries}")
+        if self.n_users < 1:
+            raise ValueError(f"n_users must be >= 1, got {self.n_users}")
+        if self.n_tenants < 1:
+            raise ValueError(f"n_tenants must be >= 1, got {self.n_tenants}")
+        total = sum(w for _, w in self.mix)
+        if total <= 0 or any(w < 0 for _, w in self.mix):
+            raise ValueError(f"mix weights must be >= 0 and sum > 0: {self.mix}")
+
+
+def zipf_choice(
+    rng: np.random.Generator, n: int, skew: float, size: int
+) -> np.ndarray:
+    """``size`` draws from a Zipf(``skew``) truncated to ``[0, n)``.
+
+    Exact inverse-CDF sampling: rank ``r`` has weight ``(r+1)**-skew``.
+    ``skew=0`` degenerates to uniform.
+    """
+    if n == 1:
+        return np.zeros(size, dtype=np.int64)
+    weights = np.arange(1, n + 1, dtype=np.float64) ** -float(skew)
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    u = rng.random(size)
+    return np.searchsorted(cdf, u, side="right").astype(np.int64)
+
+
+def generate_trace(
+    spec: TrafficSpec, n_vertices: int, seed: int = 0
+) -> List[Submission]:
+    """Materialise one reproducible trace of ``spec.n_queries`` submissions.
+
+    Vertex popularity: user ranks (Zipf over ``n_users``) map onto vertices
+    through a seeded permutation mod ``n_vertices``, so the hot user head
+    lands on a scattered-but-fixed hot vertex set.
+    """
+    rng = np.random.default_rng(seed)
+    k = spec.n_queries
+
+    gaps = rng.exponential(1e6 / spec.qps, size=k)
+    arrivals = np.cumsum(gaps)
+
+    user_ranks = zipf_choice(rng, spec.n_users, spec.source_skew, k)
+    vertex_perm = rng.permutation(n_vertices)
+    sources = vertex_perm[user_ranks % n_vertices]
+
+    tenant_ranks = zipf_choice(rng, spec.n_tenants, spec.tenant_skew, k)
+
+    kinds = [kind for kind, _ in spec.mix]
+    probs = np.array([w for _, w in spec.mix], dtype=np.float64)
+    probs /= probs.sum()
+    kind_idx = rng.choice(len(kinds), size=k, p=probs)
+    hop_idx = rng.integers(0, len(spec.khop_hops), size=k)
+
+    out: List[Submission] = []
+    for i in range(k):
+        src = int(sources[i])
+        kind = kinds[int(kind_idx[i])]
+        q: Query
+        if kind == "khop":
+            q = KHopQuery(src, hops=int(spec.khop_hops[int(hop_idx[i])]))
+        elif kind == "bfs":
+            q = BfsQuery(src)
+        elif kind == "ppr":
+            q = PprQuery(src, damping=spec.ppr_damping, iters=spec.ppr_iters)
+        elif kind == "feature":
+            q = FeatureQuery(src)
+        else:
+            raise ValueError(f"unknown query kind in mix: {kind!r}")
+        arrival = float(arrivals[i])
+        deadline = (
+            None if spec.deadline_us is None else arrival + spec.deadline_us
+        )
+        out.append(
+            Submission(
+                arrival_us=arrival,
+                tenant=f"tenant{int(tenant_ranks[i])}",
+                query=q,
+                deadline_us=deadline,
+            )
+        )
+    return out

@@ -14,7 +14,12 @@ that hold for *any* correct GraphBLAS implementation:
   the unmasked result (with REPLACE, no accumulator);
 - **duplicate-edge idempotence** — for an idempotent dup monoid, building
   a graph from a doubled edge list yields the same matrix, and therefore
-  the same products, as building from the unique list.
+  the same products, as building from the unique list;
+- **batch composition** — batched multi-source kernels (multi-source BFS,
+  blocked personalized PageRank) are row-wise independent: each source's
+  row in a batch-of-k must be bit-identical to its batch-of-1 run.  This
+  is the contract the serving layer's coalescer relies on to merge
+  queries from different users into one launch (:mod:`repro.serve`).
 
 All checks return ``None`` on success or a human-readable failure string.
 """
@@ -42,6 +47,7 @@ __all__ = [
     "check_semiring_negation",
     "check_mask_partition",
     "check_duplicate_idempotence",
+    "check_batch_composition",
     "run_metamorphic_suite",
 ]
 
@@ -202,6 +208,49 @@ def check_duplicate_idempotence(graph: Matrix, dup_name: str = "MIN") -> Optiona
 
 
 # ---------------------------------------------------------------------------
+# Batch composition: batch-of-1 ≡ single row of batch-of-k
+# ---------------------------------------------------------------------------
+
+
+def check_batch_composition(graph: Matrix, sources: List[int]) -> Optional[str]:
+    """Each row of a batched launch must equal its batch-of-1 run, exactly.
+
+    Checks the two batched kernels the serving layer coalesces onto:
+    multi-source BFS (k frontiers, one masked mxm per level) and blocked
+    personalized PageRank (k rank rows, one SpMM per iteration).  Both are
+    row-wise independent by construction, so batch composition must not
+    perturb any bit of any row — the invariant that makes coalescing
+    queries from unrelated users safe.
+    """
+    from ..algorithms.msbfs import bfs_levels_multi
+    from ..algorithms.ppr import ppr_batch
+
+    def _row(m: Matrix, i: int):
+        idx, vals = m.container.row(i)
+        return idx.copy(), vals.copy()
+
+    with use_backend("reference"):
+        levels = bfs_levels_multi(graph, sources)
+        ranks = ppr_batch(graph, sources, damping=0.85, iters=4)
+        for i, s in enumerate(sources):
+            li, lv = _row(levels, i)
+            si, sv = _row(bfs_levels_multi(graph, [s]), 0)
+            if not (np.array_equal(li, si) and np.array_equal(lv, sv)):
+                return (
+                    f"msbfs row for source {s} differs between batch-of-"
+                    f"{len(sources)} and batch-of-1"
+                )
+            ri, rv = _row(ranks, i)
+            pi, pv = _row(ppr_batch(graph, [s], damping=0.85, iters=4), 0)
+            if not (np.array_equal(ri, pi) and np.array_equal(rv, pv)):
+                return (
+                    f"ppr row for source {s} differs between batch-of-"
+                    f"{len(sources)} and batch-of-1"
+                )
+    return None
+
+
+# ---------------------------------------------------------------------------
 # Suite driver (used by the fuzzer's sampled metamorphic lane)
 # ---------------------------------------------------------------------------
 
@@ -234,4 +283,11 @@ def run_metamorphic_suite(seed: int) -> List[str]:
         msg = check_duplicate_idempotence(graph, dup_name)
         if msg:
             failures.append(f"[dup-idempotence:{dup_name}] {full.describe()}: {msg}")
+
+    rng = np.random.default_rng(seed)
+    k = min(int(rng.integers(2, 6)), graph.nrows)
+    sources = rng.choice(graph.nrows, size=k, replace=False).tolist()
+    msg = check_batch_composition(graph, [int(s) for s in sources])
+    if msg:
+        failures.append(f"[batch-composition] {full.describe()}: {msg}")
     return failures

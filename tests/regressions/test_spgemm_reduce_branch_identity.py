@@ -1,0 +1,67 @@
+"""SpGEMM reduce-branch invariance: batched rows ≡ batch-of-1 rows.
+
+Found by the serving layer's batched-vs-unbatched digest A/B (fig9): a
+k-row SpMM (``R·M`` inside ``ppr_batch``) crossed the dense-accumulator
+keyspace cap that a 1-row product stayed under, so the two ran different
+reduce branches — dense ``np.bincount`` (sequential per-key fold) vs
+stable-sort + ``np.add.reduceat`` (pairwise fold) — and float64 ``PLUS``
+rows differed in the last ulp depending on *batch size*.  The fix makes
+the fallback branch reduce with the same dense-accumulator strategy over
+``np.unique``-compacted keys, so branch selection can never change bits.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends.dispatch import use_backend
+from repro.core import operations as ops
+from repro.core.matrix import Matrix
+from repro.core.semiring import PLUS_TIMES
+from repro.types import FP64
+
+N = 8192  # keyspace per row; k*N crosses the 65536 dense cap at k=9
+ROW_NNZ = 1000
+
+
+def _build():
+    rng = np.random.default_rng(42)
+    # B: ROW_NNZ rows, each with a handful of columns, irrational-ish
+    # values so reassociating a long PLUS fold moves the last ulp.
+    b_rows = np.repeat(np.arange(ROW_NNZ, dtype=np.int64), 4)
+    b_cols = rng.integers(0, 64, size=b_rows.size).astype(np.int64)
+    sel = np.ones(b_rows.size, dtype=bool)
+    # Dedup (row, col) pairs to keep the build canonical.
+    keys = b_rows * 64 + b_cols
+    _, first = np.unique(keys, return_index=True)
+    sel[:] = False
+    sel[first] = True
+    b = Matrix.from_lists(
+        b_rows[sel], b_cols[sel], rng.random(int(sel.sum())), N, N, FP64
+    )
+    a_cols = np.arange(ROW_NNZ, dtype=np.int64)
+    a_vals = rng.random(ROW_NNZ)
+    return b, a_cols, a_vals
+
+
+def _product_rows(b, a_cols, a_vals, k):
+    rows = np.repeat(np.arange(k, dtype=np.int64), a_cols.size)
+    a = Matrix.from_lists(
+        rows, np.tile(a_cols, k), np.tile(a_vals, k), k, N, FP64
+    )
+    out = Matrix.sparse(FP64, k, N)
+    ops.mxm(out, a, b, PLUS_TIMES)
+    return [out.container.row(i) for i in range(k)]
+
+
+@pytest.mark.parametrize("backend", ["reference", "cpu", "cuda_sim"])
+def test_spmm_rows_bit_identical_across_batch_sizes(backend):
+    b, a_cols, a_vals = _build()
+    with use_backend(backend):
+        (i1, v1), = _product_rows(b, a_cols, a_vals, 1)
+        for k in (9, 16):
+            for idx, vals in _product_rows(b, a_cols, a_vals, k):
+                assert np.array_equal(idx, i1)
+                assert np.array_equal(vals, v1), (
+                    f"k={k} row differs from k=1 on {backend}: reduce branch "
+                    "changed the float accumulation order"
+                )
