@@ -10,7 +10,7 @@ still builds the explicit transition matrix for callers that want it.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -59,8 +59,17 @@ def pagerank(
     damping: float = 0.85,
     tol: float = 1e-8,
     max_iter: int = 100,
+    warm_start: Optional[Vector] = None,
 ) -> Vector:
-    """PageRank vector (dense; sums to 1). Converges in L1 norm to ``tol``."""
+    """PageRank vector (dense; sums to 1). Converges in L1 norm to ``tol``.
+
+    ``warm_start`` seeds the power iteration with a previous rank vector
+    instead of the uniform distribution (read-only; a fresh vector is
+    returned).  Streaming updates restart from the pre-batch ranks: the
+    iteration converges to the same fixpoint from any stochastic start, so
+    a warm restart after a small edge batch needs only the iterations that
+    the perturbation actually displaced.
+    """
     if not 0.0 <= damping < 1.0:
         raise InvalidValueError(f"damping must be in [0, 1), got {damping}")
     n = g.nrows
@@ -80,9 +89,16 @@ def pagerank(
         mask=outdeg,
         desc=Descriptor(complement_mask=True, structural_mask=True),
     )
-    # Uniform start vector as a device-side fill — never uploaded.
-    r = Vector.sparse(FP64, n)
-    assign_scalar(r, 1.0 / n)
+    if warm_start is not None:
+        if warm_start.size != n:
+            raise InvalidValueError(
+                f"warm_start size {warm_start.size} != nrows {n}"
+            )
+        r = warm_start
+    else:
+        # Uniform start vector as a device-side fill — never uploaded.
+        r = Vector.sparse(FP64, n)
+        assign_scalar(r, 1.0 / n)
     teleport = (1.0 - damping) / n
     # Every iteration flushes the same lazy tape; the optimizer captures
     # the steady-state signature automatically (repro.lazy.capture) and

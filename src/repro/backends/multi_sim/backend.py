@@ -232,6 +232,16 @@ class MultiSimBackend(Backend):
     def _ensure_available(self, c) -> None:
         """Container consumable shard-wise: sliced residency is sufficient."""
         if self._is_sliced(c):
+            # The sliced claim is version-current, but the shadow slot is
+            # shared with any *replicated* copy of ``c`` — if that copy was
+            # since evicted, the slot reads as freed even though the devices
+            # still hold their owned slices (partition caches).  Re-assert
+            # the derived per-device entries so shard-wise reads check
+            # against the slices, not the dead replica.
+            san = _gbsan.ACTIVE
+            if san is not None:
+                for p in range(self.nparts):
+                    san.note_derived(self._dev(p), c, c)
             return
         self._ensure_replicated(c)
 

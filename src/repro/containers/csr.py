@@ -79,6 +79,33 @@ class CSRMatrix:
             self._aux[key] = hit
         return hit
 
+    def install_arrays(
+        self, indptr: np.ndarray, indices: np.ndarray, values: np.ndarray
+    ) -> int:
+        """Replace the stored arrays **in place** and bump the version.
+
+        The container object survives (same ``id()``), so every consumer
+        keyed on identity — device residency entries, multi_sim partition
+        caches, serving-layer handles — sees the mutation through the
+        version stamp rather than through a dangling reference.  This is
+        the install path for streaming compaction (:mod:`repro.streaming`),
+        where a delta overlay is merged into the base CSR without
+        reregistering the graph anywhere.
+        """
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        values = np.ascontiguousarray(np.asarray(values, dtype=self.type.dtype))
+        if indptr.shape != (self.nrows + 1,):
+            raise InvalidObjectError(
+                f"indptr length {indptr.size} != nrows+1 ({self.nrows + 1})"
+            )
+        if indices.size != values.size:
+            raise InvalidObjectError("indices and values lengths differ")
+        self.indptr = indptr
+        self.indices = indices
+        self.values = values
+        return self.bump_version()
+
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------

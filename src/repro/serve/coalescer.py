@@ -62,6 +62,10 @@ class PendingQuery:
 class _Pool:
     key: PoolKey
     queries: List[PendingQuery] = field(default_factory=list)
+    # Container version of the graph the pooled queries were admitted
+    # against; a mismatch at dispatch means the graph mutated mid-pool and
+    # the batch must not run (the answers would be for a different graph).
+    version: int = 0
 
     @property
     def oldest_us(self) -> float:
@@ -91,14 +95,38 @@ class Coalescer:
             if q.tenant == tenant
         )
 
-    def add(self, graph: str, pending: PendingQuery) -> PoolKey:
-        """Admit one query; returns its pool key."""
+    def add(self, graph: str, pending: PendingQuery, version: int = 0) -> PoolKey:
+        """Admit one query; returns its pool key.
+
+        ``version`` is the graph's container version at admission; the pool
+        is stamped with the first arrival's version (callers evict stale
+        pools via :meth:`evict_stale` before adding at a newer version).
+        """
         key = (graph, pending.query.coalesce_key())
         pool = self._pools.get(key)
         if pool is None:
-            pool = self._pools[key] = _Pool(key)
+            pool = self._pools[key] = _Pool(key, version=version)
         pool.queries.append(pending)
         return key
+
+    def pool_version(self, key: PoolKey) -> Optional[int]:
+        pool = self._pools.get(key)
+        return None if pool is None else pool.version
+
+    def evict_stale(self, graph: str, version: int) -> List[PendingQuery]:
+        """Remove every pool for ``graph`` stamped with a different version.
+
+        Returns the dropped queries so the caller can account them; they
+        were admitted against a graph that no longer exists and must not be
+        answered from the mutated one.
+        """
+        dropped: List[PendingQuery] = []
+        for key in [k for k in self._pools if k[0] == graph]:
+            pool = self._pools[key]
+            if pool.version != version:
+                dropped.extend(pool.queries)
+                del self._pools[key]
+        return dropped
 
     def full(self, key: PoolKey) -> bool:
         pool = self._pools.get(key)

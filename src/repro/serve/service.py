@@ -72,7 +72,7 @@ class QueryRecord:
     query: Query
     arrival_us: float
     deadline_us: Optional[float] = None
-    status: str = "queued"  # queued | done | expired | shed
+    status: str = "queued"  # queued | done | expired | shed | stale
     start_us: float = 0.0
     completion_us: float = 0.0
     batch_size: int = 0
@@ -121,6 +121,11 @@ class ServiceStats:
     @property
     def expired_count(self) -> int:
         return len(self._by_status("expired"))
+
+    @property
+    def stale_count(self) -> int:
+        """Queries dropped because their graph mutated while they queued."""
+        return len(self._by_status("stale"))
 
     @property
     def deadline_missed_count(self) -> int:
@@ -194,6 +199,7 @@ class ServiceStats:
             "completed": len(self.completed),
             "shed": self.shed_count,
             "expired": self.expired_count,
+            "stale": self.stale_count,
             "deadline_missed": self.deadline_missed_count,
             "sustained_qps": round(self.sustained_qps, 3),
             "p50_us": round(self.latency_percentile(50), 3),
@@ -323,9 +329,12 @@ class GraphService:
             rec.status = "shed"
             t.shed += 1
             raise Overloaded(tenant, depth, t.max_queue)
+        version = self.engine.graph(graph).matrix.container.version
+        self._evict_stale(graph, version, arrival)
         key = self.coalescer.add(
             graph,
             PendingQuery(rec.qid, tenant, query, arrival, deadline_us),
+            version=version,
         )
         self._waiting.setdefault(key, []).append(rec)
         if self.coalescer.full(key):
@@ -370,7 +379,53 @@ class GraphService:
         self._now_us = max(self._now_us, now)
         return True
 
+    def _evict_stale(self, graph: str, version: int, now_us: float) -> None:
+        """Drop pools whose graph mutated since their queries were admitted.
+
+        The queued queries were validated and admitted against the old
+        container; answering them from the mutated graph would silently
+        serve results for a graph the caller never submitted against.
+        """
+        dropped = self.coalescer.evict_stale(graph, version)
+        if not dropped:
+            return
+        stale_qids = {p.qid for p in dropped}
+        for key in [k for k in self._waiting if k[0] == graph]:
+            kept = []
+            for rec in self._waiting[key]:
+                if rec.qid in stale_qids:
+                    rec.status = "stale"
+                    rec.completion_us = now_us
+                else:
+                    kept.append(rec)
+            if kept:
+                self._waiting[key] = kept
+            else:
+                del self._waiting[key]
+
+    def mutate(self, graph: str, mutator: Any) -> None:
+        """Apply ``mutator(matrix)`` to a served graph, safely.
+
+        Pending pools for ``graph`` are flushed first — queries already
+        admitted are answered against the graph they were submitted to —
+        then the mutation runs (bumping the container version, which
+        invalidates the engine's derived caches and marks any pool that
+        somehow raced the flush as stale).
+        """
+        for key in [
+            k for k in self.coalescer.pending_keys() if k[0] == graph
+        ]:
+            self._dispatch(key, self._now_us)
+        mutator(self.engine.graph(graph).matrix)
+
     def _dispatch(self, key: PoolKey, now_us: float) -> None:
+        # Defensive re-check: a pool whose graph container moved since
+        # admission must not execute — drop it as stale instead.
+        pver = self.coalescer.pool_version(key)
+        cur = self.engine.graph(key[0]).matrix.container.version
+        if pver is not None and pver != cur:
+            self._evict_stale(key[0], cur, now_us)
+            return
         weights = {name: t.weight for name, t in self.tenants.items()}
         batch = self.coalescer.drain(key, weights)
         if not batch:

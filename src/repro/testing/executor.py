@@ -31,7 +31,7 @@ must raise the *same* exception type everywhere.
 
 from __future__ import annotations
 
-from contextlib import nullcontext
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
 from typing import Any, List, Optional, Tuple
 
@@ -66,6 +66,7 @@ __all__ = [
     "DEFAULT_SPECS",
     "SMOKE_SPECS",
     "Divergence",
+    "backend_session",
     "execute",
     "run_differential",
     "backend_specs",
@@ -330,17 +331,37 @@ def execute(
     an empty placeholder, so later ops still execute identically on every
     backend (exception *types* are part of the differential contract).
     """
-    backend, device_backed = _resolve_backend(spec)
     env = build_env(program, perm=perm)
     snapshots: List[Any] = []
+    with backend_session(spec):
+        for opspec in program.ops:
+            try:
+                result = _run_op(opspec, env)
+            except GraphBLASError as e:
+                snapshots.append(("raised", type(e).__name__))
+                _append_placeholder(opspec, env)
+                continue
+            snapshots.append(_snapshot(result))
+    return snapshots
 
+
+@contextmanager
+def backend_session(spec: str):
+    """Enter one backend spec end-to-end: resolve the backend, reset
+    device state, apply the suffix contexts (``:noreuse`` / ``:lanes=`` /
+    ``:lazy=``), and activate the backend for the ``with`` body.
+
+    This is the single definition of what a spec string *means*; the
+    program executor above and the streaming mutation runner
+    (:mod:`repro.testing.streaming`) both run inside it.
+    """
+    backend, device_backed = _resolve_backend(spec)
     if device_backed:
         if spec.startswith("multi_sim"):
             backend.reset()
         else:
             backend.evict_all()
             reset_device()
-
     noreuse = spec.endswith(":noreuse")
     ctx = reuse.reuse_disabled() if noreuse else nullcontext()
     lane_ctx: Any = nullcontext()
@@ -354,15 +375,7 @@ def execute(
             lazy_ctx = lazy_config.lazy_enabled()
     with ctx, lane_ctx, lazy_ctx:
         with use_backend(backend):
-            for opspec in program.ops:
-                try:
-                    result = _run_op(opspec, env)
-                except GraphBLASError as e:
-                    snapshots.append(("raised", type(e).__name__))
-                    _append_placeholder(opspec, env)
-                    continue
-                snapshots.append(_snapshot(result))
-    return snapshots
+            yield backend
 
 
 def _append_placeholder(spec, env) -> None:

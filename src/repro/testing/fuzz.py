@@ -29,10 +29,22 @@ from typing import Optional
 from .conservation import run_conservation_suite
 from .executor import DEFAULT_SPECS, SMOKE_SPECS, Divergence, run_differential
 from .metamorphic import run_metamorphic_suite
-from .programs import Program, generate_invalid_program, generate_program
+from .programs import (
+    Program,
+    generate_invalid_program,
+    generate_mutation_program,
+    generate_program,
+)
 from .shrink import shrink, write_repro
+from .streaming import (
+    STREAMING_SMOKE_SPECS,
+    STREAMING_SPECS,
+    run_streaming_differential,
+    shrink_streaming,
+    write_streaming_repro,
+)
 
-__all__ = ["main", "run_fuzz"]
+__all__ = ["main", "run_fuzz", "run_streaming_fuzz"]
 
 _DEFAULT_REPRO_DIR = Path(__file__).resolve().parents[3] / "tests" / "regressions"
 
@@ -58,6 +70,91 @@ def _shrink_and_report(
         print(f"  repro written: {path}")
 
 
+def _shrink_and_report_streaming(
+    program: Program,
+    divergence: Divergence,
+    specs,
+    repro_dir: Optional[Path],
+    max_probes: int,
+) -> None:
+    def still_fails(cand: Program) -> bool:
+        return run_streaming_differential(cand, specs) is not None
+
+    small = shrink_streaming(program, still_fails, max_probes=max_probes)
+    final = run_streaming_differential(small, specs) or divergence
+    print(f"  shrunk: {len(program.ops)} ops -> {len(small.ops)} ops")
+    print(f"  minimal program: {small.describe()}")
+    print(f"  divergence: {final}")
+    if repro_dir is not None:
+        path = write_streaming_repro(small, final, repro_dir)
+        print(f"  repro written: {path}")
+
+
+def run_streaming_fuzz(
+    programs: int,
+    seed: int,
+    specs=STREAMING_SPECS,
+    do_shrink: bool = True,
+    repro_dir: Optional[Path] = _DEFAULT_REPRO_DIR,
+    max_failures: int = 5,
+    shrink_probes: int = 300,
+    verbose: bool = False,
+    sanitize: bool = False,
+) -> int:
+    """Fuzz ``programs`` graph-mutation programs; returns failure count.
+
+    Each program interleaves edge batches, compactions, and incremental
+    analytics queries (:mod:`repro.testing.streaming`); every query is
+    checked against the full-recompute oracle within each spec, and all
+    per-op snapshots (including the final materialised CSR) are compared
+    across specs.  Seed stability matches :func:`run_fuzz`: program ``i``
+    is ``generate_mutation_program(seed + i)``.
+    """
+    san = None
+    if sanitize:
+        from .. import sanitizer as _sz
+
+        san = _sz.enable()
+    failures = 0
+    i = 0
+    t0 = time.monotonic()
+    for i in range(programs):
+        s = seed + i
+        program = generate_mutation_program(s)
+        if san is not None:
+            san.reset()
+        divergence = run_streaming_differential(program, specs)
+        if divergence is not None:
+            failures += 1
+            print(f"[FAIL] streaming seed {s}: {program.describe()}")
+            print(f"  {divergence}")
+            if do_shrink:
+                _shrink_and_report_streaming(
+                    program, divergence, specs, repro_dir, shrink_probes
+                )
+        elif verbose:
+            print(f"[ok] streaming seed {s}: {program.describe()}")
+        if san is not None and san.findings:
+            failures += 1
+            print(f"[FAIL] sanitizer, streaming seed {s}: {program.describe()}")
+            print("  " + san.report().replace("\n", "\n  "))
+            san.drain()
+        if failures >= max_failures:
+            print(f"stopping after {failures} failures")
+            break
+        if not verbose and i and i % 50 == 0:
+            dt = time.monotonic() - t0
+            print(f"  ... {i}/{programs} programs, {failures} failures, {dt:.1f}s")
+    dt = time.monotonic() - t0
+    status = "FAILED" if failures else "passed"
+    print(
+        f"streaming fuzz {status}: {min(i + 1, programs)} programs, seeds "
+        f"[{seed}, {seed + i}], {len(specs)} backend specs, "
+        f"{failures} failures, {dt:.1f}s"
+    )
+    return failures
+
+
 def run_fuzz(
     programs: int,
     seed: int,
@@ -65,6 +162,7 @@ def run_fuzz(
     metamorphic_every: int = 25,
     conservation_every: int = 25,
     invalid_every: int = 10,
+    streaming_every: int = 20,
     do_shrink: bool = True,
     repro_dir: Optional[Path] = _DEFAULT_REPRO_DIR,
     max_failures: int = 5,
@@ -123,6 +221,17 @@ def run_fuzz(
             for msg in run_conservation_suite(program):
                 failures += 1
                 print(f"[FAIL] conservation, seed {s}: {msg}")
+        if streaming_every and i % streaming_every == 0:
+            sprog = generate_mutation_program(s)
+            d = run_streaming_differential(sprog, STREAMING_SMOKE_SPECS)
+            if d is not None:
+                failures += 1
+                print(f"[FAIL] streaming, seed {s}: {sprog.describe()}")
+                print(f"  {d}")
+                if do_shrink:
+                    _shrink_and_report_streaming(
+                        sprog, d, STREAMING_SMOKE_SPECS, repro_dir, shrink_probes
+                    )
 
         if failures >= max_failures:
             print(f"stopping after {failures} failures")
@@ -170,6 +279,12 @@ def main(argv=None) -> int:
     ap.add_argument("--invalid-every", type=int, default=10, metavar="N",
                     help="run an invalid-program (error-path) differential "
                          "every N programs (0 = never)")
+    ap.add_argument("--streaming", action="store_true",
+                    help="fuzz graph-mutation programs only (DynamicGraph + "
+                         "incremental views vs the full-recompute oracle)")
+    ap.add_argument("--streaming-every", type=int, default=20, metavar="N",
+                    help="in the default mode, run one mutation-program "
+                         "differential every N programs (0 = never)")
     ap.add_argument("--no-shrink", action="store_true",
                     help="report failures without shrinking")
     ap.add_argument("--repro-dir", type=Path, default=_DEFAULT_REPRO_DIR,
@@ -191,18 +306,36 @@ def main(argv=None) -> int:
 
     if args.backends:
         specs = tuple(s.strip() for s in args.backends.split(",") if s.strip())
+    elif args.streaming:
+        specs = STREAMING_SMOKE_SPECS if args.smoke else STREAMING_SPECS
     else:
         specs = SMOKE_SPECS if args.smoke else DEFAULT_SPECS
 
     if args.replay is not None:
         program = _load_program(args.replay)
         print(f"replaying {args.replay}: {program.describe()}")
-        divergence = run_differential(program, specs)
+        if args.streaming:
+            divergence = run_streaming_differential(program, specs)
+        else:
+            divergence = run_differential(program, specs)
         if divergence is None:
             print("replay passed on all backends")
             return 0
         print(f"[FAIL] {divergence}")
         return 1
+
+    if args.streaming:
+        return run_streaming_fuzz(
+            programs=args.programs,
+            seed=args.seed,
+            specs=specs,
+            do_shrink=not args.no_shrink,
+            repro_dir=None if args.no_repro else args.repro_dir,
+            max_failures=args.max_failures,
+            shrink_probes=args.shrink_probes,
+            verbose=args.verbose,
+            sanitize=args.sanitize,
+        )
 
     return run_fuzz(
         programs=args.programs,
@@ -211,6 +344,7 @@ def main(argv=None) -> int:
         metamorphic_every=args.metamorphic_every,
         conservation_every=args.conservation_every,
         invalid_every=args.invalid_every,
+        streaming_every=args.streaming_every,
         do_shrink=not args.no_shrink,
         repro_dir=None if args.no_repro else args.repro_dir,
         max_failures=args.max_failures,

@@ -19,7 +19,12 @@ that hold for *any* correct GraphBLAS implementation:
   blocked personalized PageRank) are row-wise independent: each source's
   row in a batch-of-k must be bit-identical to its batch-of-1 run.  This
   is the contract the serving layer's coalescer relies on to merge
-  queries from different users into one launch (:mod:`repro.serve`).
+  queries from different users into one launch (:mod:`repro.serve`);
+- **incremental ≡ full recompute** — replaying a graph-mutation program,
+  every incrementally-maintained query (BFS levels, CC labels, PageRank)
+  must match the plain algorithm run on an independent materialisation of
+  the mutated graph: bit-identical for the integer fixpoints (BFS/CC),
+  tolerance-bounded for PageRank (:mod:`repro.streaming`).
 
 All checks return ``None`` on success or a human-readable failure string.
 """
@@ -48,6 +53,7 @@ __all__ = [
     "check_mask_partition",
     "check_duplicate_idempotence",
     "check_batch_composition",
+    "check_incremental_recompute",
     "run_metamorphic_suite",
 ]
 
@@ -251,6 +257,31 @@ def check_batch_composition(graph: Matrix, sources: List[int]) -> Optional[str]:
 
 
 # ---------------------------------------------------------------------------
+# Incremental ≡ full recompute (the streaming invariant)
+# ---------------------------------------------------------------------------
+
+
+def check_incremental_recompute(seed: int) -> Optional[str]:
+    """Incremental views must agree with full recompute on the mutated graph.
+
+    Generates a mutation program for ``seed`` and replays it on the
+    reference backend; every query op compares the incremental answer
+    against the plain algorithm run on an independent snapshot of the
+    current graph state (exact for BFS/CC, rtol for PageRank).  The
+    divergence check against other backends lives in the fuzzer's
+    streaming lane; this is the backend-independent half of the invariant.
+    """
+    from .programs import generate_mutation_program
+    from .streaming import execute_streaming
+
+    prog = generate_mutation_program(seed)
+    _, divergence = execute_streaming(prog, "reference")
+    if divergence is not None:
+        return f"{prog.describe()}: {divergence}"
+    return None
+
+
+# ---------------------------------------------------------------------------
 # Suite driver (used by the fuzzer's sampled metamorphic lane)
 # ---------------------------------------------------------------------------
 
@@ -290,4 +321,8 @@ def run_metamorphic_suite(seed: int) -> List[str]:
     msg = check_batch_composition(graph, [int(s) for s in sources])
     if msg:
         failures.append(f"[batch-composition] {full.describe()}: {msg}")
+
+    msg = check_incremental_recompute(seed)
+    if msg:
+        failures.append(f"[incremental-recompute] {msg}")
     return failures

@@ -67,9 +67,12 @@ from ..types import BOOL, FP64
 __all__ = [
     "Program",
     "generate_program",
+    "generate_mutation_program",
     "build_env",
     "GRAPH_RECIPES",
     "SEMIRING_POOL",
+    "MUTATION_OPS",
+    "QUERY_ALGOS",
     "annotate_exactness",
 ]
 
@@ -330,6 +333,19 @@ _EQUIVARIANT_OPS = (
     "reduce", "reduce_to_vector", "transpose",
 )
 
+# Graph-mutation op pool (streaming fuzz mode, repro.testing.streaming):
+# random edge batches interleaved with explicit compactions and incremental
+# analytics queries.  Batches are derived at runtime from "bseed" via
+# repro.streaming.batch.random_edge_batch against the *logical* (base ⊕
+# delta) edge set, which is identical on every backend, so one program
+# replays bit-identically across specs.
+MUTATION_OPS = ("edge_batch", "compact", "query")
+
+#: Algorithms the "query" mutation op can ask for (each is maintained
+#: incrementally by repro.streaming.incremental and checked against a full
+#: recompute on the materialised graph).
+QUERY_ALGOS = ("bfs", "cc", "pagerank")
+
 # Deliberately ill-formed ops for the invalid-program mode.  Each one must
 # raise a specific GraphBLASError subclass in the shared frontend, so every
 # backend observes the identical exception type; the executor records the
@@ -569,6 +585,68 @@ def generate_program(
             mats.append(_SlotMeta(mats[ai].tainted, mats[ai].positive))
         prog.ops.append(spec)
     return prog
+
+
+def generate_mutation_program(
+    seed: int,
+    n_ops: Optional[int] = None,
+    size: Optional[int] = None,
+) -> Program:
+    """A random graph-mutation program: batches, compactions, queries.
+
+    Executed by :mod:`repro.testing.streaming`: the graph becomes a
+    :class:`~repro.streaming.graph.DynamicGraph` and every ``query`` op is
+    answered by the matching incremental view *and* checked against a full
+    recompute on the materialised graph — the streaming metamorphic
+    invariant — before the result is compared across backend specs.
+
+    ``source`` is stored unreduced and taken mod ``n`` at run time, since
+    graph recipes round the requested size.
+    """
+    rng = np.random.default_rng(np.random.SeedSequence([0x57AB, int(seed)]))
+    gen_names = sorted(GRAPH_RECIPES)
+    gname = gen_names[int(rng.integers(0, len(gen_names)))]
+    gsize = int(size if size is not None else rng.integers(8, 40))
+    graph = {
+        "generator": gname,
+        "size": gsize,
+        "seed": int(rng.integers(0, 2**31 - 1)),
+        "weighted": bool(rng.random() < 0.6),
+    }
+
+    def edge_batch_op(inserts: int, deletes: int) -> Dict[str, Any]:
+        return {
+            "op": "edge_batch",
+            "bseed": int(rng.integers(0, 2**31 - 1)),
+            "inserts": inserts,
+            "deletes": deletes,
+        }
+
+    def query_op() -> Dict[str, Any]:
+        algo = QUERY_ALGOS[int(rng.integers(0, len(QUERY_ALGOS)))]
+        return {"op": "query", "algo": algo, "source": int(rng.integers(0, 2**16))}
+
+    count = int(n_ops if n_ops is not None else rng.integers(4, 10))
+    ops_list: List[Dict[str, Any]] = []
+    for _ in range(count):
+        r = rng.random()
+        if r < 0.40:
+            ops_list.append(
+                edge_batch_op(int(rng.integers(0, 9)), int(rng.integers(0, 5)))
+            )
+        elif r < 0.55:
+            ops_list.append({"op": "compact"})
+        else:
+            ops_list.append(query_op())
+    # Every program must mutate and observe at least once, else it tests
+    # nothing; pin both ends.
+    if not any(o["op"] == "edge_batch" for o in ops_list):
+        ops_list.insert(0, edge_batch_op(4, 1))
+    if not any(o["op"] == "query" for o in ops_list):
+        ops_list.append(query_op())
+    return Program(
+        graph=graph, seed=int(rng.integers(0, 2**31 - 1)), ops=ops_list
+    )
 
 
 def generate_invalid_program(seed: int, n_ops: Optional[int] = None) -> Program:

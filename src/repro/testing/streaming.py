@@ -1,0 +1,338 @@
+"""Differential execution of graph-mutation programs.
+
+A mutation program (:func:`repro.testing.programs.generate_mutation_program`)
+interleaves random edge batches, explicit compactions, and incremental
+analytics queries over one generated graph.  This module replays it on a
+backend spec with the graph wrapped in a
+:class:`~repro.streaming.graph.DynamicGraph` and the queries answered by
+the incremental views (:mod:`repro.streaming.incremental`).
+
+Two independent oracles check every run:
+
+1. **incremental ≡ full recompute** — inside each spec, every query's
+   incremental answer is compared against the plain algorithm run on an
+   independent materialisation of the current graph (bit-identical for
+   BFS/CC; tolerance-bounded for PageRank, whose warm and cold runs are
+   both ``tol``-accurate approximations of the same fixpoint);
+2. **cross-backend agreement** — per-op snapshots (applied-batch shapes,
+   compaction nnz, query results, and the final materialised CSR) must
+   agree with the reference backend under the shared equivalence policy.
+
+Failures shrink through a mutation-aware greedy shrinker (ops here have no
+slot dependencies, so dropping any op keeps the program valid) and are
+written to ``tests/regressions/`` as standalone pytest repros.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..algorithms.bfs import bfs_levels
+from ..algorithms.components import connected_components
+from ..algorithms.pagerank import pagerank
+from ..core.vector import Vector
+from ..streaming import (
+    DynamicGraph,
+    IncrementalBFS,
+    IncrementalCC,
+    IncrementalPageRank,
+    random_edge_batch,
+)
+from .equivalence import describe_mismatch, same
+from .executor import Divergence, backend_session
+from .programs import Program, build_graph
+
+__all__ = [
+    "STREAMING_SMOKE_SPECS",
+    "STREAMING_SPECS",
+    "execute_streaming",
+    "run_streaming_differential",
+    "shrink_streaming",
+    "write_streaming_repro",
+]
+
+# The replay matrix the ISSUE names: cuda_sim with the lazy tape on and
+# off, and multi_sim at P ∈ {1, 2, 4}.
+STREAMING_SMOKE_SPECS = (
+    "reference",
+    "cpu",
+    "cuda_sim",
+    "cuda_sim:lazy=off",
+    "multi_sim:2:degree_balanced",
+)
+
+STREAMING_SPECS = (
+    "reference",
+    "cpu",
+    "cuda_sim",
+    "cuda_sim:lazy=off",
+    "cuda_sim:noreuse",
+    "multi_sim:1:equal_rows",
+    "multi_sim:2:degree_balanced",
+    "multi_sim:4:equal_rows",
+)
+
+# PageRank settings for fuzz queries: tight tolerance so the warm- and
+# cold-started iterations land within _PR_RTOL of each other and of every
+# other backend's answer.
+_PR_TOL = 1e-12
+_PR_MAX_ITER = 400
+_PR_RTOL = 1e-6
+
+
+def _full_recompute(algo: str, g: DynamicGraph, source: int) -> Vector:
+    """The oracle: the plain algorithm on an independent materialisation."""
+    snap = g.snapshot()
+    if algo == "bfs":
+        return bfs_levels(snap, source)
+    if algo == "cc":
+        return connected_components(snap)
+    return pagerank(snap, tol=_PR_TOL, max_iter=_PR_MAX_ITER)
+
+
+def execute_streaming(
+    program: Program, spec: str = "reference", oracle: bool = True
+) -> Tuple[List[Any], Optional[Divergence]]:
+    """Replay one mutation program under ``spec``.
+
+    Returns ``(snapshots, oracle_divergence)``: one snapshot per op, plus
+    the first incremental-vs-full-recompute mismatch observed inside this
+    spec (or None).  Snapshots are host-side values suitable for
+    cross-backend comparison.
+    """
+    snapshots: List[Any] = []
+    oracle_div: Optional[Divergence] = None
+    with backend_session(spec):
+        g = DynamicGraph(build_graph(program.graph).dup())
+        views: dict = {}
+
+        def view_for(algo: str, source: int):
+            key = (algo, source)
+            if key not in views:
+                if algo == "bfs":
+                    views[key] = IncrementalBFS(g, source)
+                elif algo == "cc":
+                    views[key] = IncrementalCC(g)
+                else:
+                    views[key] = IncrementalPageRank(
+                        g, tol=_PR_TOL, max_iter=_PR_MAX_ITER
+                    )
+            return views[key]
+
+        for i, op in enumerate(program.ops):
+            kind = op["op"]
+            if kind == "edge_batch":
+                batch = random_edge_batch(
+                    int(op["bseed"]),
+                    g.n,
+                    inserts=int(op["inserts"]),
+                    deletes=int(op["deletes"]),
+                    existing=g.edges(),
+                )
+                g.apply(batch)
+                snapshots.append(
+                    ("applied", len(batch), batch.insert_count, g.nvals())
+                )
+            elif kind == "compact":
+                did = g.compact()
+                snapshots.append(("compacted", bool(did), g.base_nvals))
+            elif kind == "query":
+                algo = op["algo"]
+                source = int(op["source"]) % g.n
+                got = view_for(algo, source).query().dup()
+                snapshots.append((algo, got))
+                if oracle and oracle_div is None:
+                    expected = _full_recompute(algo, g, source)
+                    exact = algo != "pagerank"
+                    rtol = 1e-12 if exact else _PR_RTOL
+                    if not same(got, expected, exact=exact, rtol=rtol):
+                        oracle_div = Divergence(
+                            spec,
+                            i,
+                            f"query:{algo}",
+                            "incremental != full recompute: "
+                            + describe_mismatch(got, expected),
+                        )
+            else:  # pragma: no cover - generator never emits unknown ops
+                raise ValueError(f"unknown mutation op {kind!r}")
+        # The materialised end state is part of the observable behaviour.
+        final = g.matrix.dup()
+        final.container.validate()
+        snapshots.append(("final_graph", final))
+    return snapshots, oracle_div
+
+
+def _compare_streaming(got: Any, expected: Any) -> Optional[str]:
+    """Compare one snapshot pair; returns a mismatch description or None."""
+    if isinstance(expected, tuple) and expected and isinstance(expected[0], str):
+        tag_e = expected[0]
+        tag_g = got[0] if isinstance(got, tuple) and got else None
+        if tag_g != tag_e:
+            return f"snapshot kind {tag_g!r} != {tag_e!r}"
+        if tag_e in ("applied", "compacted"):
+            if tuple(got[1:]) != tuple(expected[1:]):
+                return f"{tag_e} snapshot {got[1:]} != {expected[1:]}"
+            return None
+        # (algo, Vector) query snapshots and ("final_graph", Matrix).
+        exact = tag_e != "pagerank"
+        rtol = 1e-12 if exact else _PR_RTOL
+        if not same(got[1], expected[1], exact=exact, rtol=rtol):
+            return describe_mismatch(got[1], expected[1])
+        return None
+    if not same(got, expected, exact=True):
+        return describe_mismatch(got, expected)
+    return None
+
+
+def run_streaming_differential(
+    program: Program,
+    specs: Optional[Tuple[str, ...]] = None,
+) -> Optional[Divergence]:
+    """Replay a mutation program on every spec; first divergence or None.
+
+    Both oracles apply: the in-spec incremental-vs-full check runs on every
+    spec (including reference), then snapshots are compared against the
+    reference run.
+    """
+    specs = tuple(specs or STREAMING_SPECS)
+    oracle, odiv = execute_streaming(program, "reference")
+    if odiv is not None:
+        return odiv
+    op_names = [o["op"] for o in program.ops] + ["final_graph"]
+    for spec in specs:
+        if spec == "reference":
+            continue
+        got, gdiv = execute_streaming(program, spec)
+        if gdiv is not None:
+            return gdiv
+        for i, (gs, es) in enumerate(zip(got, oracle)):
+            detail = _compare_streaming(gs, es)
+            if detail is not None:
+                return Divergence(spec, i, op_names[i], detail)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Mutation-aware shrinking
+# ---------------------------------------------------------------------------
+
+
+def _shrink_candidates(program: Program):
+    """Smaller mutation programs, most aggressive first.
+
+    Mutation ops carry no slot references, so any subset of ops is a valid
+    program; candidates drop ops, shrink the graph, and thin batches.
+    """
+    ops = program.ops
+
+    def with_ops(new_ops) -> Program:
+        return Program(
+            graph=dict(program.graph), seed=program.seed,
+            ops=[dict(o) for o in new_ops],
+        )
+
+    # Drop ops, last first (keeps earlier state-building mutations).
+    for i in reversed(range(len(ops))):
+        if len(ops) > 1:
+            yield with_ops(ops[:i] + ops[i + 1:])
+    # Shrink the graph.
+    size = int(program.graph["size"])
+    for smaller in (size // 2, size // 4, 8, 5):
+        if 2 <= smaller < size:
+            yield Program(
+                graph=dict(program.graph, size=smaller), seed=program.seed,
+                ops=[dict(o) for o in ops],
+            )
+    if program.graph["weighted"]:
+        yield Program(
+            graph=dict(program.graph, weighted=False), seed=program.seed,
+            ops=[dict(o) for o in ops],
+        )
+    # Thin batches: drop deletes first (simpler failure class), then halve
+    # inserts.
+    for i, op in enumerate(ops):
+        if op["op"] != "edge_batch":
+            continue
+        if int(op["deletes"]) > 0:
+            cand = [dict(o) for o in ops]
+            cand[i]["deletes"] = 0
+            yield with_ops(cand)
+        if int(op["inserts"]) > 1:
+            cand = [dict(o) for o in ops]
+            cand[i]["inserts"] = int(op["inserts"]) // 2
+            yield with_ops(cand)
+
+
+def shrink_streaming(
+    program: Program,
+    still_fails: Callable[[Program], bool],
+    max_probes: int = 300,
+) -> Program:
+    """Greedily minimise a failing mutation program."""
+    probes = 0
+
+    def probe(cand: Program) -> bool:
+        nonlocal probes
+        if probes >= max_probes:
+            return False
+        probes += 1
+        try:
+            return bool(still_fails(cand))
+        except Exception:
+            return False
+
+    current = program
+    changed = True
+    while changed and probes < max_probes:
+        changed = False
+        for cand in _shrink_candidates(current):
+            if probe(cand):
+                current = cand
+                changed = True
+                break
+    return current
+
+
+_REPRO_TEMPLATE = '''"""Auto-generated streaming regression repro (repro.testing.streaming).
+
+Shrunk failing mutation program: {describe}
+Original divergence: {divergence}
+
+Reproduce / investigate with::
+
+    PYTHONPATH=src python -m repro.testing.fuzz --streaming --replay {filename}
+
+This test stays green once the underlying bug is fixed; keep it as a
+permanent regression guard.
+"""
+
+from repro.testing.programs import Program
+from repro.testing.streaming import run_streaming_differential
+
+PROGRAM = {program_dict!r}
+
+
+def test_shrunk_mutation_program_{tag}():
+    divergence = run_streaming_differential(Program.from_dict(PROGRAM))
+    assert divergence is None, str(divergence)
+'''
+
+
+def write_streaming_repro(program: Program, divergence, directory: Path) -> Path:
+    """Write a standalone pytest repro for a mutation-program failure."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    tag = hashlib.sha1(program.to_json().encode()).hexdigest()[:10]
+    path = directory / f"test_shrunk_stream_{tag}.py"
+    path.write_text(
+        _REPRO_TEMPLATE.format(
+            describe=program.describe(),
+            divergence=str(divergence),
+            filename=path.name,
+            program_dict=program.to_dict(),
+            tag=tag,
+        )
+    )
+    return path

@@ -1,0 +1,97 @@
+"""Regression: coalescer pools must not survive a mid-pool graph mutation.
+
+Queries queued in a pool were admitted (and validated) against a specific
+container version of their graph.  If the graph mutates while they wait —
+an edge batch lands, a compaction rewrites the CSR — executing the pooled
+batch would silently answer them from a different graph.  The service must
+either flush the pool *before* the mutation (``GraphService.mutate``) or
+drop the queued batch as ``stale`` when the version mismatch is detected
+at submit/dispatch time.  Before the fix, the stale pool dispatched
+against the mutated graph and the answers changed under the caller's feet.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.matrix import Matrix
+from repro.serve.coalescer import BatchPolicy
+from repro.serve.queries import BfsQuery
+from repro.serve.service import GraphService
+from repro.streaming import DynamicGraph, EdgeBatch
+from repro.types import FP64
+
+
+def _path_graph(n: int) -> Matrix:
+    rows = np.arange(n - 1, dtype=np.int64)
+    cols = rows + 1
+    vals = np.ones(n - 1)
+    return Matrix.from_lists(rows, cols, vals, n, n, FP64)
+
+
+def _service(max_batch: int = 8) -> GraphService:
+    svc = GraphService(
+        backend="cuda_sim",
+        policy=BatchPolicy(max_batch=max_batch, max_wait_us=5_000.0),
+    )
+    svc.register_graph(_path_graph(16))
+    return svc
+
+
+def _mutate_in_place(m: Matrix) -> None:
+    """Bump the container version the way a streaming edge batch does."""
+    g = DynamicGraph(m)
+    g.apply(EdgeBatch.inserts([0], [8], [1.0]))
+    g.compact()
+
+
+def test_stale_pool_dropped_at_dispatch():
+    svc = _service()
+    rec = svc.submit("a", BfsQuery(source=0))
+    assert rec.status == "queued"
+    # Mutate the served graph behind the coalescer's back (no flush).
+    _mutate_in_place(svc.engine.graph("default").matrix)
+    svc.drain()
+    assert rec.status == "stale", (
+        "queued batch executed against a graph that mutated mid-pool"
+    )
+    assert rec.result is None
+    assert svc.stats().stale_count == 1
+
+
+def test_stale_pool_dropped_at_submit():
+    svc = _service()
+    old = svc.submit("a", BfsQuery(source=0))
+    _mutate_in_place(svc.engine.graph("default").matrix)
+    # The next submission sees the new version and evicts the old pool;
+    # it must itself be answered against the *current* graph.
+    new = svc.submit("a", BfsQuery(source=0))
+    svc.drain()
+    assert old.status == "stale"
+    assert new.status == "done"
+    # Source 0 now reaches vertex 8 directly via the inserted edge.
+    levels = dict(zip(new.result.indices.tolist(), new.result.values.tolist()))
+    assert levels[8] == 1
+
+
+def test_mutate_flushes_pending_pools_first():
+    svc = _service()
+    rec = svc.submit("a", BfsQuery(source=0))
+    svc.mutate("default", _mutate_in_place)
+    # The queued query was answered against the pre-mutation graph.
+    assert rec.status == "done"
+    levels = dict(zip(rec.result.indices.tolist(), rec.result.values.tolist()))
+    assert levels[8] == 8  # path graph distance, not the shortcut
+    # And queries after the mutation see the shortcut.
+    rec2 = svc.submit("a", BfsQuery(source=0))
+    svc.drain()
+    levels2 = dict(zip(rec2.result.indices.tolist(), rec2.result.values.tolist()))
+    assert levels2[8] == 1
+
+
+def test_same_version_pools_untouched():
+    svc = _service(max_batch=2)
+    r1 = svc.submit("a", BfsQuery(source=0))
+    r2 = svc.submit("b", BfsQuery(source=0))  # fills the batch -> dispatch
+    assert r1.status == "done" and r2.status == "done"
+    assert r1.digest == r2.digest
+    assert svc.stats().stale_count == 0
