@@ -1,0 +1,31 @@
+"""gbcheck: whole-program static analysis for the GraphBLAS runtime contracts.
+
+The dynamic sanitizer (:mod:`repro.sanitizer`) verifies kernel access sets,
+container version bumps, and lazy forcing points on the paths a workload
+happens to execute.  This package checks the same three contracts on *every*
+path, statically: it parses the whole ``src/repro`` tree, builds a
+module-level call graph and per-function summaries, and runs interprocedural
+dataflow rules plus a suppression audit.  See ``docs/static_analysis.md``
+for the rule catalog and the baseline workflow; ``tools/gbcheck.py`` is the
+CLI and CI entry point.
+"""
+
+from .engine import Report, analyze_program, analyze_sources, analyze_tree
+from .findings import Baseline, Finding, findings_from_json, findings_to_json
+from .loader import Program
+from .rules import DATAFLOW_RULES, KNOWN_RULES, SYNTACTIC_RULES
+
+__all__ = [
+    "Baseline",
+    "DATAFLOW_RULES",
+    "Finding",
+    "KNOWN_RULES",
+    "Program",
+    "Report",
+    "SYNTACTIC_RULES",
+    "analyze_program",
+    "analyze_sources",
+    "analyze_tree",
+    "findings_from_json",
+    "findings_to_json",
+]

@@ -1,0 +1,120 @@
+"""Finding model, JSON serialisation, and the checked-in baseline.
+
+gbcheck reports are lists of :class:`Finding`.  Each finding carries a
+*fingerprint* that is stable across unrelated edits: it hashes the path,
+rule, and symbol — but **not** the line number — so a baseline entry keeps
+matching when code above the finding moves it a few lines.  The baseline
+workflow (``tools/gbcheck.py --baseline``) fails CI only on findings whose
+fingerprint is absent from the checked-in baseline file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Sequence, Set
+
+__all__ = ["Finding", "Baseline", "findings_to_json", "findings_from_json"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One gbcheck violation.
+
+    ``path`` is rooted at ``repro/`` (e.g. ``backends/cuda_sim/backend.py``)
+    so reports are location-independent; ``symbol`` is the enclosing
+    function/kernel qualname when known, which anchors the fingerprint.
+    """
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    symbol: str = ""
+
+    def __str__(self) -> str:
+        loc = f"{self.path}:{self.line}"
+        sym = f" ({self.symbol})" if self.symbol else ""
+        return f"{loc}: [{self.rule}]{sym} {self.message}"
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-independent identity used by the baseline diff."""
+        head = self.message.split(";")[0].strip()
+        key = f"{self.path}|{self.rule}|{self.symbol}|{head}"
+        return hashlib.sha1(key.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+            "symbol": self.symbol,
+            "fingerprint": self.fingerprint,
+        }
+
+
+def findings_to_json(findings: Sequence[Finding]) -> str:
+    """Render findings as the stable JSON report format."""
+    payload = {
+        "tool": "gbcheck",
+        "count": len(findings),
+        "findings": [f.to_dict() for f in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def findings_from_json(text: str) -> List[Finding]:
+    """Parse a JSON report back into findings (fingerprints recomputed)."""
+    payload = json.loads(text)
+    out: List[Finding] = []
+    for row in payload.get("findings", []):
+        out.append(
+            Finding(
+                path=str(row["path"]),
+                line=int(row.get("line", 0)),
+                rule=str(row["rule"]),
+                message=str(row["message"]),
+                symbol=str(row.get("symbol", "")),
+            )
+        )
+    return out
+
+
+@dataclass
+class Baseline:
+    """A set of accepted finding fingerprints.
+
+    The baseline is the escape hatch for findings that are understood but
+    not yet fixed: CI fails only on *new* findings.  An empty baseline means
+    the tree is expected to be clean.
+    """
+
+    fingerprints: Set[str] = field(default_factory=set)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        rows: Iterable[Dict[str, Any]] = payload.get("findings", [])
+        fps = {str(r["fingerprint"]) for r in rows if "fingerprint" in r}
+        fps |= {str(fp) for fp in payload.get("fingerprints", [])}
+        return cls(fingerprints=fps)
+
+    def save(self, path: Path, findings: Sequence[Finding]) -> None:
+        """Write ``findings`` as the new baseline (used by --update-baseline)."""
+        payload = {
+            "tool": "gbcheck-baseline",
+            "findings": [f.to_dict() for f in sorted(findings, key=str)],
+        }
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    def new_findings(self, findings: Sequence[Finding]) -> List[Finding]:
+        """Findings whose fingerprint is not baselined — the CI gate fails on these."""
+        return [f for f in findings if f.fingerprint not in self.fingerprints]

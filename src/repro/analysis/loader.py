@@ -1,0 +1,256 @@
+"""Whole-program loader: modules, imports, kernel declarations, call graph.
+
+gbcheck analyses the ``src/repro`` tree as one program.  The loader parses
+every module, records where each top-level function/method is defined,
+resolves ``import``/``from ... import`` bindings (including relative
+imports), and collects module-level ``NAME = Kernel(...)`` declarations so
+the access rules can resolve a ``launch(NAME, ...)`` site back to the
+kernel's declared access sets — across module boundaries.
+
+Paths are rooted at ``repro/`` throughout (``backends/cuda_sim/kernels.py``),
+matching the syntactic lint, so the same sources can be analysed from a
+checkout or from a test's in-memory snippet via :meth:`Program.from_sources`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["KernelDecl", "Module", "Program"]
+
+
+@dataclass(frozen=True)
+class KernelDecl:
+    """One module-level ``VAR = Kernel("name", run=..., accesses=...)``."""
+
+    var: str
+    kernel_name: str
+    line: int
+    run: Optional[ast.expr]
+    accesses: Optional[ast.expr]
+
+
+@dataclass
+class Module:
+    """One parsed source module, addressed by dotted name and relpath."""
+
+    name: str  # dotted module name, e.g. "repro.backends.cuda_sim.kernels"
+    relpath: str  # repro/-rooted posix path
+    source: str
+    tree: ast.Module
+    # qualname ("fn" or "Class.method") -> def node
+    functions: Dict[str, ast.FunctionDef] = field(default_factory=dict)
+    # local binding -> fully-qualified dotted target ("module" or "module.attr")
+    imports: Dict[str, str] = field(default_factory=dict)
+    kernels: Dict[str, KernelDecl] = field(default_factory=dict)
+    # module-level VAR = OTHER or VAR = OTHER.attr aliases (for
+    # ``accesses=TRANSPOSE_COUNTSORT.accesses``-style indirection)
+    aliases: Dict[str, str] = field(default_factory=dict)
+
+
+def _relpath_to_modname(relpath: str) -> str:
+    parts = relpath[: -len(".py")].split("/") if relpath.endswith(".py") else [relpath]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(["repro", *parts]) if parts else "repro"
+
+
+def _collect_functions(tree: ast.Module) -> Dict[str, ast.FunctionDef]:
+    out: Dict[str, ast.FunctionDef] = {}
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef):
+            out[node.name] = node
+        elif isinstance(node, ast.ClassDef):
+            for sub in node.body:
+                if isinstance(sub, ast.FunctionDef):
+                    out[f"{node.name}.{sub.name}"] = sub
+    return out
+
+
+def _collect_imports(tree: ast.Module, modname: str) -> Dict[str, str]:
+    pkg_parts = modname.split(".")[:-1] if modname != "repro" else ["repro"]
+    out: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                out[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base_parts = pkg_parts[: len(pkg_parts) - (node.level - 1)]
+                base = ".".join(base_parts)
+                target = f"{base}.{node.module}" if node.module else base
+            else:
+                target = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                out[alias.asname or alias.name] = f"{target}.{alias.name}"
+    return out
+
+
+def _collect_kernels_and_aliases(
+    tree: ast.Module,
+) -> Tuple[Dict[str, KernelDecl], Dict[str, str]]:
+    kernels: Dict[str, KernelDecl] = {}
+    aliases: Dict[str, str] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        value = node.value
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id == "Kernel"
+        ):
+            kname = ""
+            if value.args and isinstance(value.args[0], ast.Constant):
+                if isinstance(value.args[0].value, str):
+                    kname = value.args[0].value
+            run: Optional[ast.expr] = None
+            accesses: Optional[ast.expr] = None
+            if len(value.args) >= 2:
+                run = value.args[1]
+            if len(value.args) >= 4:
+                accesses = value.args[3]
+            for kw in value.keywords:
+                if kw.arg == "run":
+                    run = kw.value
+                elif kw.arg == "accesses":
+                    accesses = kw.value
+            kernels[target.id] = KernelDecl(
+                var=target.id,
+                kernel_name=kname,
+                line=node.lineno,
+                run=run,
+                accesses=accesses,
+            )
+        elif isinstance(value, ast.Name):
+            aliases[target.id] = value.id
+    return kernels, aliases
+
+
+class Program:
+    """A set of parsed modules plus cross-module resolution helpers."""
+
+    def __init__(self, modules: Dict[str, Module]) -> None:
+        self.modules = modules
+        self._by_relpath = {m.relpath: m for m in modules.values()}
+
+    @classmethod
+    def from_sources(cls, sources: Dict[str, str]) -> "Program":
+        """Build a program from ``{relpath: source}`` (tests, corpora)."""
+        modules: Dict[str, Module] = {}
+        for relpath, source in sources.items():
+            modname = _relpath_to_modname(relpath)
+            tree = ast.parse(source, filename=relpath)
+            kernels, aliases = _collect_kernels_and_aliases(tree)
+            modules[modname] = Module(
+                name=modname,
+                relpath=relpath,
+                source=source,
+                tree=tree,
+                functions=_collect_functions(tree),
+                imports=_collect_imports(tree, modname),
+                kernels=kernels,
+                aliases=aliases,
+            )
+        return cls(modules)
+
+    @classmethod
+    def from_tree(cls, package_root: Path) -> "Program":
+        """Parse every ``*.py`` under the ``repro/`` package root."""
+        sources: Dict[str, str] = {}
+        for path in sorted(package_root.rglob("*.py")):
+            rel = path.relative_to(package_root).as_posix()
+            if rel.startswith("analysis/"):
+                # The analyzer does not analyse itself: its sources mention
+                # payload attribute names and directive syntax as *data*.
+                continue
+            sources[rel] = path.read_text(encoding="utf-8")
+        return cls.from_sources(sources)
+
+    # -- resolution ------------------------------------------------------
+
+    def module_for(self, relpath: str) -> Optional[Module]:
+        return self._by_relpath.get(relpath)
+
+    def resolve_function(
+        self, module: Module, name: str
+    ) -> Optional[Tuple[Module, str]]:
+        """Resolve a bare callee name to ``(module, qualname)`` if static.
+
+        Handles locally-defined functions and ``from x import f`` bindings.
+        Method calls are resolved by the summariser (it knows ``self``).
+        """
+        if name in module.functions:
+            return module, name
+        target = module.imports.get(name)
+        if target is None:
+            return None
+        mod_part, _, attr = target.rpartition(".")
+        tmod = self.modules.get(mod_part)
+        if tmod is not None and attr in tmod.functions:
+            return tmod, attr
+        tmod = self.modules.get(target)
+        return None
+
+    def resolve_kernel(
+        self, module: Module, name: str
+    ) -> Optional[Tuple[Module, KernelDecl]]:
+        """Resolve a ``launch(NAME, ...)`` first argument to its declaration.
+
+        Returns the *defining* module alongside the declaration so the
+        declaration's ``accesses=`` expression can be classified in the
+        namespace it was written in.
+        """
+        seen = 0
+        while name in module.aliases and seen < 8:
+            name = module.aliases[name]
+            seen += 1
+        if name in module.kernels:
+            return module, module.kernels[name]
+        target = module.imports.get(name)
+        if target is None:
+            return None
+        mod_part, _, attr = target.rpartition(".")
+        tmod = self.modules.get(mod_part)
+        if tmod is not None and attr in tmod.kernels:
+            return tmod, tmod.kernels[attr]
+        return None
+
+    def call_sites_of(self, relpath: str, qualname: str) -> List[Tuple[Module, str, int]]:
+        """All in-program call sites of a function: ``(module, caller, line)``.
+
+        Matches by callee *name* (last qualname segment) after checking the
+        name genuinely refers to this definition in the calling module —
+        either a local def or an import binding.  Method calls
+        (``x.name(...)``) match by attribute name; that is deliberately
+        object-insensitive but precise enough at this codebase's scale.
+        """
+        target_mod = self._by_relpath.get(relpath)
+        if target_mod is None:
+            return []
+        short = qualname.rsplit(".", 1)[-1]
+        is_method = "." in qualname
+        sites: List[Tuple[Module, str, int]] = []
+        for mod in self.modules.values():
+            for caller, fn in mod.functions.items():
+                if mod.relpath == relpath and caller == qualname:
+                    continue
+                for node in ast.walk(fn):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    f = node.func
+                    if isinstance(f, ast.Name) and not is_method:
+                        resolved = self.resolve_function(mod, f.id)
+                        if resolved and resolved[0] is target_mod and resolved[1] == qualname:
+                            sites.append((mod, caller, node.lineno))
+                    elif isinstance(f, ast.Attribute) and f.attr == short and is_method:
+                        sites.append((mod, caller, node.lineno))
+        return sites

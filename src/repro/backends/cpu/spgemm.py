@@ -139,7 +139,7 @@ def _sorted_reduce_flat(nrows, ncols, keys, prods, semiring, out_type) -> CSRMat
     """
     fn = reduce_strategy(semiring.add)
     if fn is not None:
-        uniq, inv = np.unique(keys, return_inverse=True)  # gbsan: ok(argsort) -- key compaction; same O(m log m) the sorted fallback always paid
+        uniq, inv = np.unique(keys, return_inverse=True)
         acc = fn(inv.astype(np.int64, copy=False), prods, uniq.size, semiring.add)
         return _csr_from_flat(nrows, ncols, uniq, acc, out_type)
     order = np.argsort(keys, kind="stable")  # gbsan: ok(argsort) -- generic fallback; hot shapes take the sort-free fastpath

@@ -704,6 +704,7 @@ class MultiSimBackend(Backend):
                 float(nupd),
                 8,
                 device=self._dev(p),
+                san_writes=(new_levels,),
             )
         for ex in self._cluster.executors:
             ex._mark_resident(new_levels)
@@ -766,12 +767,15 @@ class MultiSimBackend(Backend):
         self._ensure_available(u)
         t = monoid.result_type(u.type)
         pu = PartitionedVector(u, equal_rows_splitters(u.size, self.nparts))
+        san = _gbsan.ACTIVE
         for p in range(self.nparts):
             sh = pu.shard(p)
             if sh.nvals:
+                if san is not None:
+                    san.note_derived(self._dev(p), sh, u)
                 launch(
                     REDUCE_TREE, LaunchConfig.cover(sh.nvals), sh.values, monoid,
-                    u.type, device=self._dev(p),
+                    u.type, device=self._dev(p), san_reads=(sh,),
                 )
         dt = self._cluster.comm.allreduce_scalar(t.nbytes)
         self._cluster.charge_comm("allreduce", dt, float(2 * (self.nparts - 1) * t.nbytes))
@@ -807,7 +811,7 @@ class MultiSimBackend(Backend):
             if shard.nvals:
                 launch(
                     REDUCE_TREE, LaunchConfig.cover(shard.nvals), shard.values,
-                    monoid, a.type, device=self._dev(p),
+                    monoid, a.type, device=self._dev(p), san_reads=(shard,),
                 )
         dt = self._cluster.comm.allreduce_scalar(t.nbytes)
         self._cluster.charge_comm("allreduce", dt, float(2 * (self.nparts - 1) * t.nbytes))
@@ -902,7 +906,7 @@ class MultiSimBackend(Backend):
         for p in range(self.nparts):
             launch(
                 SCATTER_ASSIGN, LaunchConfig.cover(max(nvals, 1)), float(nvals), 8,
-                device=self._dev(p),
+                device=self._dev(p), san_writes=(out,),
             )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

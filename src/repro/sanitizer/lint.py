@@ -36,11 +36,13 @@ device code honest:
 
 A finding is suppressed by a directive on the same line or the line above::
 
-    order = np.argsort(keys, kind="stable")  # gbsan: ok(argsort) -- reason
+    order = np.argsort(keys, kind="stable")  # gbsan: ok(argsort) -- cold fallback path, not kernel-hot
 
-The reason is mandatory; a bare ``ok(...)`` does not suppress.  Run from the
-command line via ``tools/lint_kernels.py`` or ``python -m
-repro.sanitizer.lint``.
+The reason is mandatory and must say *why* the flagged pattern is safe at
+this site; a bare ``ok(...)`` does not suppress, and the gbcheck
+suppression audit (:mod:`repro.analysis`) rejects placeholder reasons and
+directives that no longer match a live finding.  Run from the command line
+via ``tools/lint_kernels.py`` or ``python -m repro.sanitizer.lint``.
 """
 
 from __future__ import annotations

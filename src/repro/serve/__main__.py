@@ -12,14 +12,15 @@ from __future__ import annotations
 
 import json
 import sys
+from typing import Dict, List, Optional, Tuple
 
 from .. import generators
 from .coalescer import BatchPolicy
-from .service import GraphService
+from .service import GraphService, ServiceStats
 from .traffic import TrafficSpec, generate_trace
 
 
-def main(argv: list) -> int:
+def main(argv: List[str]) -> int:
     backend = argv[1] if len(argv) > 1 else "cuda_sim"
     g = generators.rmat(scale=9, edge_factor=8, seed=7)
     spec = TrafficSpec(
@@ -31,7 +32,7 @@ def main(argv: list) -> int:
     )
     trace = generate_trace(spec, g.nrows, seed=11)
 
-    def run(policy: BatchPolicy) -> tuple:
+    def run(policy: BatchPolicy) -> Tuple[ServiceStats, Dict[int, Optional[str]]]:
         svc = GraphService(backend=backend, policy=policy, streams=2)
         svc.register_graph(g)
         for t in range(spec.n_tenants):

@@ -62,7 +62,7 @@ class GraphHandle:
     def n(self) -> int:
         return self.matrix.nrows
 
-    def transition(self):
+    def transition(self) -> Any:
         """(M, d) for PPR, rebuilt only when the graph version moves."""
         v = self.matrix.container.version
         if self._transition is None or self._transition[0] != v:

@@ -100,7 +100,7 @@ class ServiceStats:
         records: List[QueryRecord],
         scheduler: BatchScheduler,
         batch_sizes: Optional[List[int]] = None,
-    ):
+    ) -> None:
         self.records = records
         self._sched = scheduler
         self.batch_sizes = list(batch_sizes or [])

@@ -67,12 +67,12 @@ class EdgeBatch:
         return cls(rows, cols, vals, ins)
 
     @classmethod
-    def inserts(cls, rows, cols, vals) -> "EdgeBatch":
+    def inserts(cls, rows: Any, cols: Any, vals: Any) -> "EdgeBatch":
         rows = np.asarray(rows, dtype=np.int64)
         return cls(rows, cols, vals, np.ones(rows.size, dtype=bool))
 
     @classmethod
-    def deletes(cls, rows, cols) -> "EdgeBatch":
+    def deletes(cls, rows: Any, cols: Any) -> "EdgeBatch":
         rows = np.asarray(rows, dtype=np.int64)
         return cls(
             rows, cols, np.zeros(rows.size, dtype=np.float64),
@@ -179,9 +179,9 @@ def random_edge_batch(
                 float(rng.integers(1, 10)),
             )
         )
-    er, ec = (existing if existing is not None else (None, None))
     for _ in range(int(deletes)):
-        if er is not None and er.size and rng.random() < 0.8:
+        if existing is not None and existing[0].size and rng.random() < 0.8:
+            er, ec = existing
             k = int(rng.integers(0, er.size))
             ops.append(("delete", int(er[k]), int(ec[k]), 0.0))
         else:

@@ -27,7 +27,7 @@ and decide between frontier seeding and full recompute.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -47,6 +47,7 @@ __all__ = ["CompactionPolicy", "StreamStats", "DynamicGraph"]
 # base.nvals + len(overlay) items, producing the compacted arrays.  The
 # semantic function is the same vectorised three-way merge the host path
 # uses, so every backend materialises bit-identical CSR arrays.
+# gbsan: ok(access-over-declared) -- run is functional; the declared write covers the caller's install_arrays swap so gbsan invalidates base residency at the launch
 COMPACT_MERGE = Kernel(
     "stream_compact_merge",
     run=lambda base, overlay: merge_overlay(base, overlay),
@@ -104,7 +105,7 @@ class StreamStats:
     compactions: int = 0
     auto_compactions: int = 0
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> Dict[str, int]:
         return {
             "batches": self.batches,
             "inserts": self.inserts,
@@ -236,10 +237,10 @@ class DynamicGraph:
             self.compact()
         return self
 
-    def insert_edges(self, rows, cols, vals) -> "DynamicGraph":
+    def insert_edges(self, rows: Any, cols: Any, vals: Any) -> "DynamicGraph":
         return self.apply(EdgeBatch.inserts(rows, cols, vals))
 
-    def delete_edges(self, rows, cols) -> "DynamicGraph":
+    def delete_edges(self, rows: Any, cols: Any) -> "DynamicGraph":
         return self.apply(EdgeBatch.deletes(rows, cols))
 
     # ------------------------------------------------------------------

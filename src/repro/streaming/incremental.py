@@ -32,7 +32,7 @@ Soundness of the incremental paths (inserts only):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -85,7 +85,7 @@ class ViewStats:
     delete_fallbacks: int = 0
     size_fallbacks: int = 0
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> Dict[str, int]:
         return {
             "full_recomputes": self.full_recomputes,
             "incremental_updates": self.incremental_updates,
@@ -98,7 +98,7 @@ class ViewStats:
 class _View:
     """Shared observer plumbing: pending-edge tracking + dirty flag."""
 
-    def __init__(self, graph: DynamicGraph, policy: Optional[RecomputePolicy]):
+    def __init__(self, graph: DynamicGraph, policy: Optional[RecomputePolicy]) -> None:
         self.graph = graph
         self.policy = policy if policy is not None else RecomputePolicy()
         self.stats = ViewStats()

@@ -1,0 +1,14 @@
+"""Planted-violation corpus pairing each gbcheck rule with its gbsan twin.
+
+Each ``planted_*.py`` module serves double duty:
+
+* its **source text** is fed to :func:`repro.analysis.analyze_sources`
+  under a virtual ``repro/``-rooted path, where gbcheck must flag the
+  planted static violation; and
+* its **functions** are imported and executed by
+  ``tests/test_gbcheck_corpus.py`` under an active sanitizer, where the
+  matching runtime hazard must trip gbsan (or demonstrably evade it —
+  which is exactly why the static rule exists).
+
+Keep module top levels benign: definitions only, no side effects.
+"""

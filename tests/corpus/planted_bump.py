@@ -1,0 +1,22 @@
+"""Rule 2 plant: in-place payload mutation that never bumps the version.
+
+``scale_in_place`` stores into ``c.values`` and returns without
+``bump_version`` — gbcheck flags it (``version-bump-missing``; it also
+trips the syntactic ``container-mutation`` rule).  Without the bump the
+residency shadow cannot tell the host copy moved, so gbsan is blind to the
+mutation; ``scale_with_bump`` is the protocol-correct twin whose version
+bump is exactly the signal that lets gbsan catch an elided device refresh
+as a ``stale-read``.
+"""
+
+
+def scale_in_place(c, factor):
+    # BUG: payload store with no bump_version on any path out.
+    c.values[:] = c.values * factor
+    return c
+
+
+def scale_with_bump(c, factor):
+    c.values[:] = c.values * factor
+    c.bump_version()
+    return c

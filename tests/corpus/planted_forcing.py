@@ -1,0 +1,32 @@
+"""Rule 3 plant: observing raw container state with no forcing point.
+
+``swap_unforced`` swaps a container's arrays (``install_arrays``) and
+``peek_raw`` reads the ``._container`` slot — neither is dominated by a
+force/settle, so a pending lazy tape could still rewrite the state being
+observed; gbcheck flags both (``forcing-point-missing``).  The ``*_forced``
+twins settle first.  At runtime the same elision — swapping host arrays
+under a warm device without settling/refreshing — is what gbsan reports as
+a ``stale-read`` when the next kernel consumes the cached device copy.
+"""
+
+
+def swap_unforced(base, arrays):
+    # BUG: nothing forces pending device work before the host-side swap.
+    base.install_arrays(*arrays)
+    return base
+
+
+def swap_forced(m, base, arrays):
+    m._settle()
+    base.install_arrays(*arrays)
+    return base
+
+
+def peek_raw(v):
+    # BUG: reads the raw slot, bypassing the forcing .container property.
+    return v._container
+
+
+def peek_forced(v):
+    v._settle()
+    return v._container

@@ -1,0 +1,33 @@
+"""Rule 4 plant: suppression directives that lie.
+
+Three bad directives: a placeholder reason (which therefore suppresses
+nothing — the hazard it tried to hide stays reported), an unknown rule
+name, and a stale directive matching no finding.  ``honest_mutation``
+carries the one valid directive in the file.  The pattern hidden behind
+the placeholder is an in-place payload mutation; executed against a warm
+device, the mutation plus an elided refresh is the ``stale-read`` gbsan
+reports at runtime — a bogus suppression must not be able to hide it.
+"""
+
+import numpy as np
+
+
+def sneaky_mutation(c, factor):
+    c.values[:] = c.values * factor  # gbsan: ok(container-mutation, version-bump-missing) -- reason
+    return c
+
+
+def stale_site(keys):
+    total = keys.sum()  # gbsan: ok(argsort) -- nothing on this line sorts anything at all
+    return total
+
+
+def unknown_site(keys):
+    order = np.argsort(keys)  # gbsan: ok(argsorted) -- counting sort not worth it for this cold path
+    return keys[order]
+
+
+def honest_mutation(c, k, value):
+    c.values[k] = value  # gbsan: ok(container-mutation) -- setElement overwrite; the bump below flips the dirty bit
+    c.bump_version()
+    return c

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""gbcheck CLI: run the whole-program static analyzer over src/repro.
+
+Exit status is 0 when no *new* findings exist (relative to the baseline,
+when one is given), 1 otherwise.
+
+Modes::
+
+    python tools/gbcheck.py                       # text report, fail on any finding
+    python tools/gbcheck.py --json out.json       # also write the JSON report
+    python tools/gbcheck.py --baseline tools/gbcheck_baseline.json
+                                                  # fail only on NEW findings
+    python tools/gbcheck.py --update-baseline tools/gbcheck_baseline.json
+                                                  # accept current findings
+    python tools/gbcheck.py --changed-only REF    # only findings in files
+                                                  # changed since git REF
+    python tools/gbcheck.py --github              # GitHub annotation output
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+from typing import List, Optional, Set
+
+_REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO / "src"))
+
+from repro.analysis import Baseline, Finding, analyze_tree, findings_to_json  # noqa: E402
+
+
+def _changed_paths(ref: str) -> Optional[Set[str]]:
+    """repro/-rooted paths changed since ``ref`` (None if git fails)."""
+    try:
+        out = subprocess.run(
+            ["git", "diff", "--name-only", ref, "--", "src/repro"],
+            cwd=_REPO,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    prefix = "src/repro/"
+    return {
+        line[len(prefix):]
+        for line in out.splitlines()
+        if line.startswith(prefix) and line.endswith(".py")
+    }
+
+
+def _emit_github(findings: List[Finding]) -> None:
+    for f in findings:
+        msg = f.message.replace("\n", " ")
+        print(
+            f"::error file=src/repro/{f.path},line={f.line},"
+            f"title=gbcheck {f.rule}::{msg}"
+        )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="gbcheck", description=__doc__)
+    parser.add_argument("--root", type=Path, default=_REPO / "src" / "repro")
+    parser.add_argument("--json", type=Path, default=None, metavar="PATH",
+                        help="write the JSON findings report to PATH")
+    parser.add_argument("--baseline", type=Path, default=None, metavar="PATH",
+                        help="fail only on findings absent from this baseline")
+    parser.add_argument("--update-baseline", type=Path, default=None,
+                        metavar="PATH", help="write current findings as the new baseline")
+    parser.add_argument("--changed-only", default=None, metavar="GIT_REF",
+                        help="report only findings in files changed since GIT_REF")
+    parser.add_argument("--github", action="store_true",
+                        help="emit GitHub workflow ::error annotations")
+    args = parser.parse_args(argv)
+
+    report = analyze_tree(args.root)
+    findings = report.findings
+
+    if args.changed_only is not None:
+        changed = _changed_paths(args.changed_only)
+        if changed is None:
+            print(f"gbcheck: warning: git diff against {args.changed_only!r} "
+                  "failed; reporting all findings", file=sys.stderr)
+        else:
+            findings = [f for f in findings if f.path in changed]
+
+    if args.json is not None:
+        args.json.write_text(findings_to_json(findings), encoding="utf-8")
+
+    if args.update_baseline is not None:
+        Baseline().save(args.update_baseline, findings)
+        print(f"gbcheck: baseline updated with {len(findings)} finding(s)")
+        return 0
+
+    gate = findings
+    if args.baseline is not None:
+        gate = Baseline.load(args.baseline).new_findings(findings)
+
+    for f in findings:
+        marker = "" if f in gate else " (baselined)"
+        print(f"{f}{marker}")
+    if args.github and gate:
+        _emit_github(gate)
+
+    suffix = f" across {report.modules_analyzed} modules"
+    if gate:
+        print(f"gbcheck: {len(gate)} new finding(s){suffix}")
+        return 1
+    if findings:
+        print(f"gbcheck: {len(findings)} baselined finding(s), 0 new{suffix}")
+    else:
+        print(f"gbcheck: clean{suffix}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
